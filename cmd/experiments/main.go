@@ -1,0 +1,53 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§6) from the synthetic benchmark suite:
+//
+//	experiments                  # everything
+//	experiments -only=table2     # one artifact: motivation, table1,
+//	                             # table2, fig8, fig9, prestats
+//	experiments -programs=pmd,luindex -budget=200000
+//
+// Output goes to stdout; see EXPERIMENTS.md for the recorded results
+// and the comparison against the paper's numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mahjong/internal/bench"
+)
+
+func main() {
+	only := flag.String("only", "", "artifact to produce: motivation|table1|table2|fig8|fig9|prestats|chacmp (default: all)")
+	programs := flag.String("programs", "", "comma-separated benchmark subset (default: all 12)")
+	budget := flag.Int64("budget", bench.DefaultBudget, "work budget per analysis cell")
+	flag.Parse()
+
+	s := bench.NewSuite()
+	s.Budget = *budget
+	if *programs != "" {
+		s.Programs = strings.Split(*programs, ",")
+	}
+
+	run := func(name string, fn func() error) {
+		if *only != "" && *only != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	w := os.Stdout
+	run("prestats", func() error { return s.PreStats(w) })
+	run("fig8", func() error { return s.Fig8(w) })
+	run("fig9", func() error { return s.Fig9(w, "checkstyle") })
+	run("table1", func() error { return s.Table1(w, "checkstyle", 8) })
+	run("motivation", func() error { return s.Motivation(w) })
+	run("table2", func() error { return s.Table2(w) })
+	run("chacmp", func() error { return s.CHAComparison(w) })
+}

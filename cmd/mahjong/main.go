@@ -1,0 +1,143 @@
+// Command mahjong analyzes a program in the textual IR format:
+//
+//	mahjong -in=app.ir -analysis=2obj -heap=mahjong
+//	mahjong -benchmark=pmd -analysis=3obj -heap=alloc-site -budget=1000000
+//
+// It builds the Mahjong heap abstraction (when -heap=mahjong), runs the
+// requested points-to analysis, and prints the heap-abstraction and
+// client statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mahjong"
+	"mahjong/internal/export"
+)
+
+func main() {
+	in := flag.String("in", "", "input program (textual IR)")
+	benchName := flag.String("benchmark", "", "analyze a built-in benchmark instead of -in (e.g. pmd)")
+	analysis := flag.String("analysis", "ci", "analysis: ci, 2cs, 2type, 3type, 2obj, 3obj, or any k prefix")
+	heap := flag.String("heap", "mahjong", "heap abstraction: alloc-site, alloc-type, mahjong")
+	budget := flag.Int64("budget", 0, "work budget (0 = unlimited)")
+	workers := flag.Int("workers", 0, "parallel merge workers (0 = GOMAXPROCS)")
+	verbose := flag.Bool("v", false, "print per-class merge details")
+	cgOut := flag.String("callgraph", "", "write the call graph to this file (.dot or .json by extension)")
+	saveAbs := flag.String("save-abstraction", "", "write the built Mahjong abstraction to this JSON file")
+	loadAbs := flag.String("load-abstraction", "", "reuse a previously saved abstraction instead of rebuilding it")
+	flag.Parse()
+
+	prog, err := load(*in, *benchName)
+	if err != nil {
+		fail(err)
+	}
+	st := prog.Stats()
+	fmt.Printf("program: %d classes, %d methods, %d statements, %d allocation sites\n",
+		st.Classes, st.Methods, st.Stmts, st.AllocSites)
+
+	cfg := mahjong.Config{
+		Analysis:   *analysis,
+		Heap:       mahjong.HeapKind(*heap),
+		BudgetWork: *budget,
+	}
+	if cfg.Heap == mahjong.HeapMahjong {
+		abs, err := obtainAbstraction(prog, *loadAbs, *workers)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Abstraction = abs
+		if *saveAbs != "" {
+			if err := saveAbstraction(*saveAbs, abs); err != nil {
+				fail(err)
+			}
+			fmt.Println("abstraction written to", *saveAbs)
+		}
+		fmt.Printf("mahjong: %d objects -> %d merged objects (%.0f%% reduction)\n",
+			abs.Objects, abs.MergedObjects, abs.Reduction()*100)
+		fmt.Printf("mahjong: pre-analysis %v, FPG %v, heap modeling %v\n",
+			abs.PreTime.Round(1e5), abs.FPGTime.Round(1e5), abs.ModelTime.Round(1e5))
+		if *verbose {
+			for _, sc := range abs.SizeHistogram() {
+				fmt.Printf("  class size %4d: %d classes\n", sc[0], sc[1])
+			}
+		}
+	}
+
+	rep, err := mahjong.Analyze(prog, cfg)
+	if err != nil {
+		fail(err)
+	}
+	if !rep.Scalable {
+		fmt.Printf("%s/%s: UNSCALABLE within budget (%d work units)\n", *analysis, *heap, rep.Work)
+		os.Exit(2)
+	}
+	fmt.Printf("%s/%s: %v, %d work units, %d cs-objects, %d cs-methods\n",
+		*analysis, *heap, rep.Time.Round(1e5), rep.Work, rep.CSObjects, rep.CSMethods)
+	fmt.Printf("clients: %d call-graph edges, %d poly call sites, %d may-fail casts, %d reachable methods\n",
+		rep.Metrics.CallGraphEdges, rep.Metrics.PolyCallSites, rep.Metrics.MayFailCasts, rep.Metrics.Reachable)
+
+	if *cgOut != "" {
+		if err := writeCallGraph(*cgOut, rep); err != nil {
+			fail(err)
+		}
+		fmt.Println("call graph written to", *cgOut)
+	}
+}
+
+// writeCallGraph exports the call graph in the format implied by the
+// file extension (.json for JSON, anything else for DOT).
+func writeCallGraph(path string, rep *mahjong.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if len(path) > 5 && path[len(path)-5:] == ".json" {
+		return export.CallGraphJSON(f, rep.Result())
+	}
+	return export.CallGraphDOT(f, rep.Result())
+}
+
+// obtainAbstraction loads a persisted abstraction when a path is given,
+// otherwise builds one from scratch.
+func obtainAbstraction(prog *mahjong.Program, loadPath string, workers int) (*mahjong.Abstraction, error) {
+	if loadPath == "" {
+		return mahjong.BuildAbstraction(prog, mahjong.AbstractionOptions{Workers: workers})
+	}
+	f, err := os.Open(loadPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return mahjong.LoadAbstraction(f, prog)
+}
+
+func saveAbstraction(path string, abs *mahjong.Abstraction) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return abs.Save(f)
+}
+
+func load(in, benchName string) (*mahjong.Program, error) {
+	switch {
+	case in != "" && benchName != "":
+		return nil, fmt.Errorf("use either -in or -benchmark, not both")
+	case in != "":
+		return mahjong.LoadProgram(in)
+	case benchName != "":
+		return mahjong.GenerateBenchmark(benchName)
+	default:
+		return nil, fmt.Errorf("missing -in or -benchmark (available: %v)", mahjong.BenchmarkNames())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mahjong:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,38 @@
+// Command synthgen dumps a generated benchmark program as textual IR,
+// so that it can be inspected, archived, or re-analyzed through
+// `mahjong -in`:
+//
+//	synthgen -benchmark=luindex > luindex.ir
+//	synthgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mahjong"
+)
+
+func main() {
+	benchName := flag.String("benchmark", "", "benchmark to dump")
+	list := flag.Bool("list", false, "list available benchmarks")
+	flag.Parse()
+
+	if *list {
+		for _, n := range mahjong.BenchmarkNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *benchName == "" {
+		fmt.Fprintf(os.Stderr, "synthgen: missing -benchmark (available: %v)\n", mahjong.BenchmarkNames())
+		os.Exit(1)
+	}
+	prog, err := mahjong.GenerateBenchmark(*benchName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "synthgen:", err)
+		os.Exit(1)
+	}
+	fmt.Print(mahjong.PrintProgram(prog))
+}

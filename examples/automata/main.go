@@ -1,0 +1,73 @@
+// Automata: the paper's Figure 2/Figure 4 machinery in isolation.
+//
+// This example builds a field points-to graph directly (no program, no
+// points-to analysis), converts two objects' NFAs into DFAs via the
+// shared subset construction, and runs the modified Hopcroft–Karp
+// equivalence check — the reduction at the heart of Mahjong
+// (type-consistency of objects = equivalence of sequential automata).
+//
+// Run with: go run ./examples/automata
+package main
+
+import (
+	"fmt"
+
+	"mahjong/internal/automata"
+	"mahjong/internal/fpg"
+)
+
+func main() {
+	// Reconstruct Figure 2: two T-objects with structurally different
+	// but equivalent field automata.
+	b := fpg.NewBuilder()
+	o1 := b.AddObj("T")
+	o2 := b.AddObj("T")
+	o3 := b.AddObj("U")
+	o4 := b.AddObj("U")
+	o5 := b.AddObj("X")
+	o6 := b.AddObj("X")
+	o7 := b.AddObj("Y")
+	o8 := b.AddObj("Y")
+	o9 := b.AddObj("Y")
+	// o1 --f--> o3 --h--> {o7, o9};  o1 --g--> o5 --k--> o9
+	b.AddEdge(o1, "f", o3)
+	b.AddEdge(o3, "h", o7)
+	b.AddEdge(o3, "h", o9)
+	b.AddEdge(o1, "g", o5)
+	b.AddEdge(o5, "k", o9)
+	// o2 --f--> o4 --h--> o8;       o2 --g--> o6 --k--> o8
+	b.AddEdge(o2, "f", o4)
+	b.AddEdge(o4, "h", o8)
+	b.AddEdge(o2, "g", o6)
+	b.AddEdge(o6, "k", o8)
+	g := b.Graph()
+
+	fmt.Println(g)
+	u := automata.NewUniverse(g)
+
+	fmt.Printf("SINGLETYPE-CHECK(o1) = %v\n", u.SingleTypeOK(o1))
+	fmt.Printf("SINGLETYPE-CHECK(o2) = %v\n", u.SingleTypeOK(o2))
+
+	d1, d2 := u.DFA(o1), u.DFA(o2)
+	fmt.Printf("DFA(o1): %d states;  DFA(o2): %d states;  shared store: %d states\n",
+		u.StateCount(d1), u.StateCount(d2), u.NumStates())
+	fmt.Printf("equivalent(o1, o2) = %v   // Figure 2: o1 ≡ o2\n", u.Equivalent(d1, d2))
+
+	// A third T-object whose f-target reaches a Z instead of a Y:
+	// inequivalent.
+	b2 := fpg.NewBuilder()
+	p1 := b2.AddObj("T")
+	p2 := b2.AddObj("T")
+	q1 := b2.AddObj("U")
+	q2 := b2.AddObj("U")
+	r1 := b2.AddObj("Y")
+	r2 := b2.AddObj("Z")
+	b2.AddEdge(p1, "f", q1)
+	b2.AddEdge(q1, "h", r1)
+	b2.AddEdge(p2, "f", q2)
+	b2.AddEdge(q2, "h", r2)
+	g2 := b2.Graph()
+	u2 := automata.NewUniverse(g2)
+	fmt.Printf("equivalent(p1, p2) = %v   // different leaf types: not merged\n",
+		u2.Equivalent(u2.DFA(p1), u2.DFA(p2)))
+}

@@ -1,0 +1,95 @@
+// May-fail casting: which casts can a static analysis prove safe?
+//
+// The example builds a small container program in which three typed
+// lists each hold one element type and are read back through a
+// downcast. Under the allocation-site abstraction every cast is proven
+// safe. The naive allocation-type abstraction merges all the lists, so
+// every element appears to flow to every cast and all of them become
+// may-fail. Mahjong merges only type-consistent lists (there are none
+// across element types), so it proves exactly the same casts safe as
+// the baseline.
+//
+// Run with: go run ./examples/castcheck
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"mahjong"
+)
+
+func buildSource() string {
+	var b strings.Builder
+	b.WriteString(`
+class List {
+  field head: java.lang.Object
+  method add(v: java.lang.Object): void {
+    this.head = v
+    return
+  }
+  method get(): java.lang.Object {
+    var v: java.lang.Object
+    v = this.head
+    return v
+  }
+}
+`)
+	// Three element types, three lists, three casts.
+	for i := 0; i < 3; i++ {
+		fmt.Fprintf(&b, "class Elem%d { method ping(): void { return } }\n", i)
+	}
+	b.WriteString("class Main {\n  static method main(): void {\n")
+	for i := 0; i < 3; i++ {
+		fmt.Fprintf(&b, "    var l%d: List\n    var e%d: Elem%d\n    var raw%d: java.lang.Object\n    var t%d: Elem%d\n", i, i, i, i, i, i)
+	}
+	for i := 0; i < 3; i++ {
+		fmt.Fprintf(&b, "    l%d = new List\n", i)
+		fmt.Fprintf(&b, "    e%d = new Elem%d\n", i, i)
+		fmt.Fprintf(&b, "    l%d.add(e%d)\n", i, i)
+		fmt.Fprintf(&b, "    raw%d = l%d.get()\n", i, i)
+		fmt.Fprintf(&b, "    t%d = (Elem%d) raw%d\n", i, i, i)
+		fmt.Fprintf(&b, "    t%d.ping()\n", i)
+	}
+	b.WriteString("    return\n  }\n}\nentry Main.main/0\n")
+	return b.String()
+}
+
+func main() {
+	prog, err := mahjong.ParseProgram("castcheck.ir", buildSource())
+	if err != nil {
+		log.Fatal(err)
+	}
+	abs, err := mahjong.BuildAbstraction(prog, mahjong.AbstractionOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("heap: %d objects -> %d after merging\n\n", abs.Objects, abs.MergedObjects)
+
+	for _, v := range []struct {
+		label string
+		heap  mahjong.HeapKind
+	}{
+		{"alloc-site", mahjong.HeapAllocSite},
+		{"alloc-type", mahjong.HeapAllocType},
+		{"mahjong   ", mahjong.HeapMahjong},
+	} {
+		rep, err := mahjong.Analyze(prog, mahjong.Config{
+			Analysis:    "2obj", // ci would conflate the three get() receivers
+			Heap:        v.heap,
+			Abstraction: abs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := rep.Result()
+		total := len(res.ReachableCasts())
+		fmt.Printf("%s  casts: %d total, %d may fail\n",
+			v.label, total, rep.Metrics.MayFailCasts)
+	}
+	fmt.Println()
+	fmt.Println("alloc-type merges the three List objects and loses all three casts;")
+	fmt.Println("mahjong (correctly) refuses to merge lists holding different element")
+	fmt.Println("types and matches the baseline.")
+}

@@ -1,0 +1,72 @@
+// Devirtualization: which virtual call sites can be rewritten into
+// direct calls?
+//
+// This example runs a 2-object-sensitive analysis over the `pmd`
+// benchmark under the allocation-site abstraction and under Mahjong,
+// lists a few calls each one devirtualizes, and reports the cost
+// difference. The point of the paper is visible directly: the merged
+// heap gives the same devirtualization decisions for a fraction of the
+// analysis effort.
+//
+// Run with: go run ./examples/devirt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mahjong"
+)
+
+func main() {
+	prog, err := mahjong.GenerateBenchmark("pmd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	abs, err := mahjong.BuildAbstraction(prog, mahjong.AbstractionOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pmd: %d objects -> %d after merging (%.0f%% reduction)\n\n",
+		abs.Objects, abs.MergedObjects, abs.Reduction()*100)
+
+	type run struct {
+		label string
+		heap  mahjong.HeapKind
+	}
+	for _, r := range []run{
+		{"2obj   (alloc-site)", mahjong.HeapAllocSite},
+		{"M-2obj (mahjong)   ", mahjong.HeapMahjong},
+	} {
+		rep, err := mahjong.Analyze(prog, mahjong.Config{
+			Analysis:    "2obj",
+			Heap:        r.heap,
+			Abstraction: abs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := rep.Result()
+		mono, poly := 0, 0
+		var samplePoly string
+		for _, inv := range res.ReachableInvokes() {
+			switch n := len(res.CallTargets(inv)); {
+			case n == 1:
+				mono++
+			case n >= 2:
+				poly++
+				if samplePoly == "" {
+					samplePoly = inv.Label()
+				}
+			}
+		}
+		fmt.Printf("%s  time=%-10v work=%-8d devirtualizable=%d  poly=%d\n",
+			r.label, rep.Time.Round(1e5), rep.Work, mono, poly)
+		if samplePoly != "" {
+			fmt.Printf("%s  e.g. irreducibly polymorphic: %s\n", r.label, samplePoly)
+		}
+	}
+	fmt.Println()
+	fmt.Println("Same devirtualization decisions, much less analysis work: that is")
+	fmt.Println("the paper's claim for type-dependent clients.")
+}

@@ -1,0 +1,101 @@
+// Exceptions: the flow-insensitive exception analysis layered on the
+// points-to engine.
+//
+// The program below throws two exception types behind a virtual call;
+// the example shows which types each catch may receive and which types
+// may escape main entirely, under the baseline and the Mahjong heap —
+// exception objects are heap objects like any other, so the abstraction
+// applies to them too.
+//
+// Run with: go run ./examples/exceptions
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mahjong"
+	"mahjong/internal/clients"
+)
+
+const src = `
+class Err {}
+class ParseErr extends Err {}
+class IOErr extends Err {}
+
+interface Stage {
+  method run(): void
+}
+class Reader implements Stage {
+  method run(): void {
+    var e: IOErr
+    e = new IOErr
+    throw e
+    return
+  }
+}
+class Parser implements Stage {
+  method run(): void {
+    var e: ParseErr
+    e = new ParseErr
+    throw e
+    return
+  }
+}
+class Pipeline {
+  static method exec(s: Stage): void {
+    s.run()
+    return
+  }
+}
+class Main {
+  static method main(): void {
+    var r: Stage
+    var p: Stage
+    var caught: ParseErr
+    r = new Reader
+    p = new Parser
+    Pipeline.exec(r)
+    Pipeline.exec(p)
+    caught = catch ParseErr
+    return
+  }
+}
+entry Main.main/0
+`
+
+func main() {
+	prog, err := mahjong.ParseProgram("exceptions.ir", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	abs, err := mahjong.BuildAbstraction(prog, mahjong.AbstractionOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range []struct {
+		label string
+		heap  mahjong.HeapKind
+	}{
+		{"alloc-site", mahjong.HeapAllocSite},
+		{"mahjong   ", mahjong.HeapMahjong},
+	} {
+		rep, err := mahjong.Analyze(prog, mahjong.Config{
+			Analysis: "2obj", Heap: v.heap, Abstraction: abs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := rep.Result()
+		var names []string
+		for _, c := range clients.UncaughtExceptionTypes(res) {
+			names = append(names, c.Name)
+		}
+		fmt.Printf("%s  uncaught exception types: %v\n", v.label, names)
+	}
+	fmt.Println()
+	fmt.Println("Both IOErr and ParseErr may escape main: the catch only handles")
+	fmt.Println("ParseErr, and flow-insensitively even a caught exception may escape.")
+	fmt.Println("Mahjong reports the same exception types as the baseline: exception")
+	fmt.Println("flow is a type-dependent question too.")
+}

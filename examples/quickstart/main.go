@@ -1,0 +1,98 @@
+// Quickstart: the paper's Figure 1 program, end to end.
+//
+// It parses the motivating example from textual IR, builds the Mahjong
+// heap abstraction, and shows that (1) the abstraction merges exactly
+// the type-consistent objects o2≡o3 and o5≡o6 and (2) the subsequent
+// analysis keeps `a.foo()` a mono-call and the cast `(C) a` safe —
+// while the naive allocation-type abstraction loses both facts.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mahjong"
+)
+
+const figure1 = `
+// Figure 1 of the Mahjong paper (PLDI'17).
+class A {
+  field f: A
+  method foo(): void { return }
+}
+class B extends A {
+  method foo(): void { return }
+}
+class C extends A {
+  method foo(): void { return }
+}
+class Main {
+  static method main(): void {
+    var x: A
+    var y: A
+    var z: A
+    var a: A
+    var c: C
+    var t4: A
+    var t5: A
+    var t6: A
+    x = new A          // o1
+    y = new A          // o2
+    z = new A          // o3
+    t4 = new B         // o4
+    x.f = t4
+    t5 = new C         // o5
+    y.f = t5
+    t6 = new C         // o6
+    z.f = t6
+    a = z.f
+    a.foo()            // mono-call to C.foo under alloc-site
+    c = (C) a          // safe cast under alloc-site
+    return
+  }
+}
+entry Main.main/0
+`
+
+func main() {
+	prog, err := mahjong.ParseProgram("figure1.ir", figure1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	abs, err := mahjong.BuildAbstraction(prog, mahjong.AbstractionOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Mahjong merged %d allocation sites into %d abstract objects\n",
+		abs.Objects, abs.MergedObjects)
+	fmt.Println("equivalence classes of size >= 2:", abs.Classes)
+	fmt.Println("(expected: o2 ≡ o3 and o5 ≡ o6 merge; o1 and o4 stay apart)")
+	fmt.Println()
+
+	for _, variant := range []struct {
+		label string
+		heap  mahjong.HeapKind
+	}{
+		{"alloc-site (baseline)", mahjong.HeapAllocSite},
+		{"alloc-type (naive)   ", mahjong.HeapAllocType},
+		{"mahjong              ", mahjong.HeapMahjong},
+	} {
+		rep, err := mahjong.Analyze(prog, mahjong.Config{
+			Analysis:    "ci",
+			Heap:        variant.heap,
+			Abstraction: abs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := rep.Metrics
+		fmt.Printf("%s  poly-calls=%d  may-fail-casts=%d  call-edges=%d\n",
+			variant.label, m.PolyCallSites, m.MayFailCasts, m.CallGraphEdges)
+	}
+	fmt.Println()
+	fmt.Println("alloc-type turns a.foo() into a poly-call and (C)a into a may-fail")
+	fmt.Println("cast; mahjong preserves the baseline's precision at lower cost.")
+}

@@ -1,0 +1,3 @@
+module mahjong
+
+go 1.22

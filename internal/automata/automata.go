@@ -1,0 +1,283 @@
+// Package automata implements the automata view of the field points-to
+// graph (Figure 4 of the paper) and the three algorithms built on it:
+//
+//   - the NFA of an object is the FPG restricted to the nodes reachable
+//     from it (Algorithm 2); it is never materialized, the FPG is read
+//     directly;
+//   - subset construction turns that NFA into a DFA whose states are
+//     sets of FPG nodes (Algorithm 3); states are hash-consed in a
+//     Universe so automata of different objects share structure (§5,
+//     "shared sequential automata");
+//   - a Hopcroft–Karp equivalence check over 6-tuple DFAs, with the
+//     paper's modification that two states are equivalent only when
+//     their output (type) sets agree, and missing transitions go to a
+//     distinguished error state (Algorithm 4).
+//
+// SINGLETYPE-CHECK (Condition 2 of Definition 2.1) is implemented on the
+// same shared DFA states: an object passes iff every DFA state reachable
+// from its root has a singleton type set.
+package automata
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"mahjong/internal/fpg"
+)
+
+// State is a hash-consed DFA state: a set of FPG nodes. Its output is
+// the set of types of those nodes; Single is >= 0 when that set is a
+// singleton (and then holds the type ID).
+type State struct {
+	ID    int     // universe-wide id (used by the equivalence checker)
+	Nodes []int32 // sorted FPG node IDs
+	Types []int32 // sorted type IDs of Nodes (the output set γ')
+
+	// Single is the unique type ID when len(Types) == 1, else -1.
+	Single int32
+
+	// trans are the outgoing transitions sorted by field ID; valid only
+	// after expansion.
+	trans    []transition
+	expanded bool
+}
+
+type transition struct {
+	field int32
+	to    *State
+}
+
+// Universe hash-conses DFA states over one FPG so that automata of
+// different objects share their common parts. It is not safe for
+// concurrent mutation: expand everything first (Prepare/DFA), then
+// Equivalent and SingleTypeOK may be called from multiple goroutines.
+type Universe struct {
+	g      *fpg.Graph
+	states map[string]*State
+	all    []*State
+
+	roots     []*State // root state per FPG node (index = node ID), lazily filled
+	singleOK  []int8   // per node: 0 unknown, 1 ok, 2 fail
+	stateOK   map[*State]bool
+	errorOut  int32
+	numStates int
+}
+
+// NewUniverse creates an empty universe over g.
+func NewUniverse(g *fpg.Graph) *Universe {
+	return &Universe{
+		g:        g,
+		states:   make(map[string]*State),
+		roots:    make([]*State, len(g.Objs)),
+		singleOK: make([]int8, len(g.Objs)),
+		stateOK:  make(map[*State]bool),
+	}
+}
+
+// Graph returns the underlying FPG.
+func (u *Universe) Graph() *fpg.Graph { return u.g }
+
+// NumStates returns the number of distinct DFA states created so far;
+// shared-automata effectiveness is measured against the sum of per-object
+// state counts.
+func (u *Universe) NumStates() int { return len(u.all) }
+
+func stateKey(nodes []int32) string {
+	buf := make([]byte, 0, 4*len(nodes))
+	var tmp [4]byte
+	for _, n := range nodes {
+		binary.LittleEndian.PutUint32(tmp[:], uint32(n))
+		buf = append(buf, tmp[:]...)
+	}
+	return string(buf)
+}
+
+// intern returns the canonical state for a sorted node set.
+func (u *Universe) intern(nodes []int32) *State {
+	k := stateKey(nodes)
+	if s, ok := u.states[k]; ok {
+		return s
+	}
+	types := make([]int32, 0, 2)
+	seen := make(map[int32]bool, 2)
+	for _, n := range nodes {
+		t := int32(u.g.TypeOf[n])
+		if !seen[t] {
+			seen[t] = true
+			types = append(types, t)
+		}
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	s := &State{ID: len(u.all) + 1, Nodes: nodes, Types: types, Single: -1}
+	if len(types) == 1 {
+		s.Single = types[0]
+	}
+	u.states[k] = s
+	u.all = append(u.all, s)
+	return s
+}
+
+// Root returns the (unexpanded) root state {node}.
+func (u *Universe) Root(node int) *State {
+	if s := u.roots[node]; s != nil {
+		return s
+	}
+	s := u.intern([]int32{int32(node)})
+	u.roots[node] = s
+	return s
+}
+
+// expand computes the transitions of s (Algorithm 3, one step): for each
+// field on which any member has an out-edge, the successor state is the
+// union of member targets under that field.
+func (u *Universe) expand(s *State) {
+	if s.expanded {
+		return
+	}
+	s.expanded = true
+	// Union of fields across members. For single-type states all members
+	// have the same class and hence the same declared fields, so this
+	// matches Algorithm 3's "pick any member"; for multi-type states the
+	// union keeps the construction well-defined.
+	fieldSet := make(map[int32][]int32)
+	var fieldOrder []int32
+	for _, n := range s.Nodes {
+		for _, f := range u.g.FieldsOf(int(n)) {
+			ff := int32(f)
+			if _, ok := fieldSet[ff]; !ok {
+				fieldSet[ff] = nil
+				fieldOrder = append(fieldOrder, ff)
+			}
+		}
+	}
+	sort.Slice(fieldOrder, func(i, j int) bool { return fieldOrder[i] < fieldOrder[j] })
+	for _, f := range fieldOrder {
+		var tgts []int32
+		seen := map[int32]bool{}
+		for _, n := range s.Nodes {
+			for _, t := range u.g.Succ(int(n), int(f)) {
+				tt := int32(t)
+				if !seen[tt] {
+					seen[tt] = true
+					tgts = append(tgts, tt)
+				}
+			}
+		}
+		if len(tgts) == 0 {
+			continue
+		}
+		sort.Slice(tgts, func(i, j int) bool { return tgts[i] < tgts[j] })
+		s.trans = append(s.trans, transition{field: f, to: u.intern(tgts)})
+	}
+}
+
+// Next returns δ(s, field), or nil when the transition is absent (the
+// conceptual q_error). s must have been expanded (via DFA or
+// SingleTypeOK reaching it).
+func (s *State) Next(field int32) *State {
+	i := sort.Search(len(s.trans), func(i int) bool { return s.trans[i].field >= field })
+	if i < len(s.trans) && s.trans[i].field == field {
+		return s.trans[i].to
+	}
+	return nil
+}
+
+// Fields returns the field IDs with outgoing transitions, ascending.
+func (s *State) Fields() []int32 {
+	out := make([]int32, len(s.trans))
+	for i, tr := range s.trans {
+		out[i] = tr.field
+	}
+	return out
+}
+
+// SingleTypeOK implements SINGLETYPE-CHECK (Condition 2 of
+// Definition 2.1) for the object at the given FPG node: every DFA state
+// reachable from {node} must have a singleton type set. Results are
+// memoized per node, and states proven all-single are memoized across
+// objects.
+func (u *Universe) SingleTypeOK(node int) bool {
+	switch u.singleOK[node] {
+	case 1:
+		return true
+	case 2:
+		return false
+	}
+	root := u.Root(node)
+	visited := []*State{}
+	seen := map[*State]bool{}
+	stack := []*State{root}
+	seen[root] = true
+	ok := true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if u.stateOK[s] {
+			continue // proven all-single on a previous traversal
+		}
+		if s.Single < 0 {
+			ok = false
+			break
+		}
+		visited = append(visited, s)
+		u.expand(s)
+		for _, tr := range s.trans {
+			if !seen[tr.to] {
+				seen[tr.to] = true
+				stack = append(stack, tr.to)
+			}
+		}
+	}
+	if ok {
+		// Everything reachable from each visited state was also visited
+		// and single-typed, so all of them are proven all-single.
+		for _, s := range visited {
+			u.stateOK[s] = true
+		}
+		u.singleOK[node] = 1
+		return true
+	}
+	u.singleOK[node] = 2
+	return false
+}
+
+// DFA fully expands and returns the DFA rooted at {node}. After DFA has
+// been called for every object of interest, the universe may be read
+// concurrently.
+func (u *Universe) DFA(node int) *State {
+	root := u.Root(node)
+	seen := map[*State]bool{root: true}
+	stack := []*State{root}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		u.expand(s)
+		for _, tr := range s.trans {
+			if !seen[tr.to] {
+				seen[tr.to] = true
+				stack = append(stack, tr.to)
+			}
+		}
+	}
+	return root
+}
+
+// StateCount returns the number of distinct states reachable from s
+// (the DFA size of one object).
+func (u *Universe) StateCount(s *State) int {
+	seen := map[*State]bool{s: true}
+	stack := []*State{s}
+	n := 0
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n++
+		for _, tr := range x.trans {
+			if !seen[tr.to] {
+				seen[tr.to] = true
+				stack = append(stack, tr.to)
+			}
+		}
+	}
+	return n
+}

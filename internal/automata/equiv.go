@@ -1,0 +1,123 @@
+package automata
+
+// Equivalent implements Algorithm 4: the Hopcroft–Karp near-linear DFA
+// equivalence check, adapted to 6-tuple sequential automata. Two DFAs
+// are equivalent iff every pair of states merged by the check has the
+// same output (type set); missing transitions are routed to a
+// distinguished error state with its own output.
+//
+// Both roots must be fully expanded (Universe.DFA). The check allocates
+// only local structures — a sparse union-find over the states it
+// actually touches, which is what keeps each check near-linear in the
+// smaller automaton rather than in the whole shared universe — so it is
+// safe to run concurrently on a read-only universe.
+func (u *Universe) Equivalent(a, b *State) bool {
+	if a == b {
+		return true // hash-consing fast path: identical automata share the root
+	}
+	if !sameTypes(a, b) {
+		return false
+	}
+	uf := sparseUF{parent: make(map[int]int, 16)}
+	type pair struct{ p, q *State }
+	uf.union(a.ID, b.ID)
+	stack := []pair{{a, b}}
+	for len(stack) > 0 {
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, f := range unionFields(top.p, top.q) {
+			n1, n2 := top.p.Next(f), top.q.Next(f)
+			// A transition missing on one side goes to q_error; q_error's
+			// output differs from every real state's, so the pair is
+			// inequivalent unless both are missing.
+			if n1 == nil || n2 == nil {
+				if n1 != n2 {
+					return false
+				}
+				continue
+			}
+			r1, r2 := uf.find(n1.ID), uf.find(n2.ID)
+			if r1 == r2 {
+				continue
+			}
+			// The modified output check (line 19 of Algorithm 4), applied
+			// on the fly: states can only be merged when their type sets
+			// agree.
+			if !sameTypes(n1, n2) {
+				return false
+			}
+			uf.union(r1, r2)
+			stack = append(stack, pair{n1, n2})
+		}
+	}
+	return true
+}
+
+// sparseUF is a map-backed union-find with path halving, sized by the
+// states a single equivalence check visits (usually a handful) rather
+// than the whole universe.
+type sparseUF struct {
+	parent map[int]int
+}
+
+func (s *sparseUF) find(x int) int {
+	p, ok := s.parent[x]
+	if !ok {
+		s.parent[x] = x
+		return x
+	}
+	for p != x {
+		gp, ok := s.parent[p]
+		if !ok {
+			gp = p
+		}
+		s.parent[x] = gp
+		x, p = p, gp
+	}
+	return x
+}
+
+func (s *sparseUF) union(x, y int) {
+	rx, ry := s.find(x), s.find(y)
+	if rx != ry {
+		s.parent[ry] = rx
+	}
+}
+
+// sameTypes compares the output (type) sets of two states.
+func sameTypes(a, b *State) bool {
+	if len(a.Types) != len(b.Types) {
+		return false
+	}
+	for i := range a.Types {
+		if a.Types[i] != b.Types[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// unionFields returns the sorted union of the transition alphabets of p
+// and q (Σ1 ∪ Σ2 in Algorithm 4).
+func unionFields(p, q *State) []int32 {
+	pf, qf := p.Fields(), q.Fields()
+	out := make([]int32, 0, len(pf)+len(qf))
+	i, j := 0, 0
+	for i < len(pf) && j < len(qf) {
+		switch {
+		case pf[i] < qf[j]:
+			out = append(out, pf[i])
+			i++
+		case pf[i] > qf[j]:
+			out = append(out, qf[j])
+			j++
+		default:
+			out = append(out, pf[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, pf[i:]...)
+	out = append(out, qf[j:]...)
+	return out
+}

@@ -1,0 +1,109 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mahjong/internal/fpg"
+	"mahjong/internal/unionfind"
+)
+
+func TestSparseUF(t *testing.T) {
+	uf := sparseUF{parent: map[int]int{}}
+	if uf.find(7) != 7 {
+		t.Fatal("fresh element should be its own root")
+	}
+	uf.union(1, 2)
+	uf.union(2, 3)
+	if uf.find(1) != uf.find(3) {
+		t.Fatal("transitive union broken")
+	}
+	if uf.find(1) == uf.find(9) {
+		t.Fatal("disjoint elements merged")
+	}
+	uf.union(1, 1) // self-union is a no-op
+	if uf.find(1) != uf.find(2) {
+		t.Fatal("self-union corrupted the set")
+	}
+}
+
+// TestQuickSparseVsDense: the sparse union-find must agree with the
+// dense Forest on arbitrary operation sequences.
+func TestQuickSparseVsDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(30)
+		sp := sparseUF{parent: map[int]int{}}
+		dn := unionfind.New(n)
+		for i := 0; i < 60; i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				sp.union(a, b)
+				dn.Union(a, b)
+			} else if (sp.find(a) == sp.find(b)) != dn.Same(a, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionFields(t *testing.T) {
+	b := fpg.NewBuilder()
+	a1 := b.AddObj("A")
+	a2 := b.AddObj("A")
+	x := b.AddObj("X")
+	b.AddEdge(a1, "f", x)
+	b.AddEdge(a1, "h", x)
+	b.AddEdge(a2, "g", x)
+	b.AddEdge(a2, "h", x)
+	g := b.Graph()
+	u := NewUniverse(g)
+	s1, s2 := u.DFA(a1), u.DFA(a2)
+	got := unionFields(s1, s2)
+	// Fields f, h on a1 and g, h on a2 → union of 3 distinct fields.
+	if len(got) != 3 {
+		t.Fatalf("unionFields=%v want 3 fields", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatal("unionFields not sorted/deduped")
+		}
+	}
+	// Symmetric.
+	rev := unionFields(s2, s1)
+	if len(rev) != len(got) {
+		t.Fatal("unionFields not symmetric")
+	}
+}
+
+func TestStateAccessors(t *testing.T) {
+	b := fpg.NewBuilder()
+	a := b.AddObj("A")
+	x := b.AddObj("X")
+	b.AddEdge(a, "f", x)
+	g := b.Graph()
+	u := NewUniverse(g)
+	root := u.DFA(a)
+	if root.Single < 0 {
+		t.Fatal("singleton root should have a single type")
+	}
+	fs := root.Fields()
+	if len(fs) != 1 {
+		t.Fatalf("fields=%v", fs)
+	}
+	next := root.Next(fs[0])
+	if next == nil || next.Single < 0 {
+		t.Fatal("transition missing")
+	}
+	if root.Next(999) != nil {
+		t.Fatal("absent transition should be nil (q_error)")
+	}
+	if u.Graph() != g {
+		t.Fatal("Graph accessor broken")
+	}
+}

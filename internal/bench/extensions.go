@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"mahjong/internal/cha"
+)
+
+// CHAComparison writes an extension table (not in the paper): the
+// classic hierarchy-based call-graph constructions (CHA, RTA) against
+// the context-insensitive and Mahjong-based 2-object-sensitive
+// points-to call graphs, quantifying how much precision points-to
+// analysis buys for call-graph clients.
+func (s *Suite) CHAComparison(w io.Writer) error {
+	fmt.Fprintf(w, "Extension: hierarchy-based vs points-to call graphs\n\n")
+	fmt.Fprintf(w, "%-11s | %9s %9s %9s %9s | %7s %7s %7s %7s\n",
+		"program", "CHA", "RTA", "ci", "M-2obj", "CHApoly", "RTApoly", "ci poly", "M poly")
+	for _, name := range s.Programs {
+		p, err := s.Prep(name)
+		if err != nil {
+			return err
+		}
+		chaG := cha.CHA(p.Prog)
+		rtaG := cha.RTA(p.Prog)
+		ciCell := s.runCell(p, mustAnalysis("ci"), HeapAllocSite)
+		objCell := s.runCell(p, mustAnalysis("2obj"), HeapMahjong)
+		fmt.Fprintf(w, "%-11s | %9d %9d %9s %9s | %7d %7d %7s %7s\n",
+			name,
+			chaG.NumEdges(), rtaG.NumEdges(),
+			cellInt(ciCell, ciCell.Metrics.CallGraphEdges), cellInt(objCell, objCell.Metrics.CallGraphEdges),
+			chaG.PolyCallSites(), rtaG.PolyCallSites(),
+			cellInt(ciCell, ciCell.Metrics.PolyCallSites), cellInt(objCell, objCell.Metrics.PolyCallSites))
+	}
+	return nil
+}
+
+func mustAnalysis(name string) Analysis {
+	a, err := AnalysisByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

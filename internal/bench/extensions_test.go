@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCHAComparisonRenders(t *testing.T) {
+	s := NewSuite()
+	s.Programs = []string{"luindex"}
+	s.Repeat = 1
+	var sb strings.Builder
+	if err := s.CHAComparison(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"CHA", "RTA", "M-2obj", "luindex"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CHAComparison missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCHAComparisonUnknownProgram(t *testing.T) {
+	s := NewSuite()
+	s.Programs = []string{"nope"}
+	var sb strings.Builder
+	if err := s.CHAComparison(&sb); err == nil {
+		t.Fatal("want error for unknown program")
+	}
+}

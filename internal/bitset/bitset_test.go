@@ -1,0 +1,319 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValue(t *testing.T) {
+	var s Set
+	if !s.IsEmpty() || s.Len() != 0 {
+		t.Fatalf("zero value not empty: len=%d", s.Len())
+	}
+	if s.Contains(0) || s.Contains(100) {
+		t.Fatal("zero value contains bits")
+	}
+	if !s.Add(5) {
+		t.Fatal("Add(5) on empty set reported no change")
+	}
+	if !s.Contains(5) || s.Len() != 1 {
+		t.Fatalf("after Add(5): contains=%v len=%d", s.Contains(5), s.Len())
+	}
+}
+
+func TestAddRemove(t *testing.T) {
+	s := New(10)
+	if s.Add(3) != true || s.Add(3) != false {
+		t.Fatal("Add change reporting wrong")
+	}
+	if s.Remove(3) != true || s.Remove(3) != false {
+		t.Fatal("Remove change reporting wrong")
+	}
+	if s.Remove(1000) {
+		t.Fatal("Remove of absent out-of-range bit reported change")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("len=%d after add/remove", s.Len())
+	}
+}
+
+func TestAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	New(0).Add(-1)
+}
+
+func TestContainsNegative(t *testing.T) {
+	s := New(0)
+	s.Add(0)
+	if s.Contains(-1) {
+		t.Fatal("Contains(-1) true")
+	}
+}
+
+func TestUnionDiff(t *testing.T) {
+	a, b := New(0), New(0)
+	for _, i := range []int{1, 64, 65, 200} {
+		a.Add(i)
+	}
+	for _, i := range []int{1, 2, 64, 300} {
+		b.Add(i)
+	}
+	diff := a.UnionDiff(b)
+	if diff == nil {
+		t.Fatal("expected non-nil diff")
+	}
+	want := []int{2, 300}
+	if got := diff.Slice(); !equalInts(got, want) {
+		t.Fatalf("diff=%v want %v", got, want)
+	}
+	for _, i := range []int{1, 2, 64, 65, 200, 300} {
+		if !a.Contains(i) {
+			t.Fatalf("a missing %d after UnionDiff", i)
+		}
+	}
+	if d := a.UnionDiff(b); d != nil {
+		t.Fatalf("second UnionDiff should be nil, got %v", d)
+	}
+	if d := a.UnionDiff(nil); d != nil {
+		t.Fatal("UnionDiff(nil) should be nil")
+	}
+}
+
+func TestEqualAndContainsAll(t *testing.T) {
+	a, b := New(0), New(0)
+	for _, i := range []int{0, 63, 64, 127, 500} {
+		a.Add(i)
+		b.Add(i)
+	}
+	if !a.Equal(b) {
+		t.Fatal("equal sets reported unequal")
+	}
+	// Trailing zero words must not break equality.
+	b.Add(1000)
+	b.Remove(1000)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("equality broken by trailing zero words")
+	}
+	b.Remove(500)
+	if a.Equal(b) {
+		t.Fatal("unequal sets reported equal")
+	}
+	if !a.ContainsAll(b) {
+		t.Fatal("a should contain all of b")
+	}
+	if b.ContainsAll(a) {
+		t.Fatal("b should not contain all of a")
+	}
+	if !a.ContainsAll(nil) {
+		t.Fatal("ContainsAll(nil) should be true")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a, b := New(0), New(0)
+	a.Add(100)
+	b.Add(101)
+	if a.Intersects(b) {
+		t.Fatal("disjoint sets intersect")
+	}
+	b.Add(100)
+	if !a.Intersects(b) {
+		t.Fatal("overlapping sets do not intersect")
+	}
+	if a.Intersects(nil) {
+		t.Fatal("Intersects(nil) true")
+	}
+}
+
+func TestCloneClearMin(t *testing.T) {
+	a := New(0)
+	if a.Min() != -1 {
+		t.Fatal("Min of empty != -1")
+	}
+	a.Add(70)
+	a.Add(7)
+	c := a.Clone()
+	a.Clear()
+	if a.Len() != 0 || !a.IsEmpty() {
+		t.Fatal("Clear failed")
+	}
+	if c.Len() != 2 || !c.Contains(7) || !c.Contains(70) {
+		t.Fatal("Clone affected by Clear")
+	}
+	if c.Min() != 7 {
+		t.Fatalf("Min=%d want 7", c.Min())
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(0)
+	if s.String() != "{}" {
+		t.Fatalf("empty String=%q", s.String())
+	}
+	s.Add(1)
+	s.Add(5)
+	if s.String() != "{1 5}" {
+		t.Fatalf("String=%q", s.String())
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := New(0)
+	for i := 0; i < 10; i++ {
+		s.Add(i * 3)
+	}
+	n := 0
+	s.ForEach(func(int) bool {
+		n++
+		return n < 4
+	})
+	if n != 4 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+// refSet is a map-based reference model for property testing.
+type refSet map[int]bool
+
+func (r refSet) slice() []int {
+	out := make([]int, 0, len(r))
+	for i := range r {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickAgainstReference drives a random operation sequence against both
+// Set and a map-based model and checks observable equivalence.
+func TestQuickAgainstReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(0)
+		ref := refSet{}
+		for op := 0; op < 300; op++ {
+			i := rng.Intn(400)
+			switch rng.Intn(3) {
+			case 0:
+				got := s.Add(i)
+				want := !ref[i]
+				ref[i] = true
+				if got != want {
+					return false
+				}
+			case 1:
+				got := s.Remove(i)
+				want := ref[i]
+				delete(ref, i)
+				if got != want {
+					return false
+				}
+			case 2:
+				if s.Contains(i) != ref[i] {
+					return false
+				}
+			}
+			if s.Len() != len(ref) {
+				return false
+			}
+		}
+		return equalInts(s.Slice(), ref.slice())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickUnionDiff checks UnionDiff against the set-theoretic definition.
+func TestQuickUnionDiff(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := New(0), New(0)
+		refA, refB := refSet{}, refSet{}
+		for i := 0; i < 100; i++ {
+			x := rng.Intn(300)
+			if rng.Intn(2) == 0 {
+				a.Add(x)
+				refA[x] = true
+			} else {
+				b.Add(x)
+				refB[x] = true
+			}
+		}
+		diff := a.UnionDiff(b)
+		wantDiff := refSet{}
+		for x := range refB {
+			if !refA[x] {
+				wantDiff[x] = true
+			}
+			refA[x] = true
+		}
+		var gotDiff []int
+		if diff != nil {
+			gotDiff = diff.Slice()
+		}
+		return equalInts(gotDiff, wantDiff.slice()) && equalInts(a.Slice(), refA.slice())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickUnionLaws checks commutativity/idempotence of Union via Equal.
+func TestQuickUnionLaws(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a1, b1 := New(0), New(0)
+		for _, x := range xs {
+			a1.Add(int(x))
+		}
+		for _, y := range ys {
+			b1.Add(int(y))
+		}
+		ab := a1.Clone()
+		ab.Union(b1)
+		ba := b1.Clone()
+		ba.Union(a1)
+		if !ab.Equal(ba) {
+			return false
+		}
+		again := ab.Clone()
+		if again.Union(b1) { // idempotent: second union adds nothing
+			return false
+		}
+		return ab.ContainsAll(a1) && ab.ContainsAll(b1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUnionDiff(b *testing.B) {
+	src := New(0)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		src.Add(rng.Intn(1 << 16))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := New(1 << 16)
+		dst.UnionDiff(src)
+	}
+}

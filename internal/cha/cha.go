@@ -1,0 +1,181 @@
+// Package cha implements the two classic cheap call-graph construction
+// algorithms used as baselines against points-to-based call graphs:
+//
+//   - CHA (Class Hierarchy Analysis): a virtual call may target every
+//     override of the declared method in any subtype of the receiver's
+//     static type;
+//   - RTA (Rapid Type Analysis): CHA restricted to classes actually
+//     instantiated in reachable code, computed as a fixpoint.
+//
+// Neither needs points-to information, so both are much cheaper and
+// much less precise than even a context-insensitive points-to analysis.
+// They are not part of the paper's evaluation; they extend the library
+// with the standard reference points a call-graph client expects and
+// quantify how much precision points-to analysis (and thus Mahjong)
+// buys over hierarchy-based reasoning.
+package cha
+
+import (
+	"sort"
+
+	"mahjong/internal/lang"
+)
+
+// Graph is a context-insensitive call graph.
+type Graph struct {
+	// Edges maps each reachable call site to its possible targets,
+	// sorted by method ID.
+	Edges map[*lang.Invoke][]*lang.Method
+	// Reachable is the set of reachable methods.
+	Reachable map[*lang.Method]bool
+	// Instantiated is the set of instantiated classes (RTA only; CHA
+	// reports every class with a reachable allocation or not at all).
+	Instantiated map[*lang.Class]bool
+}
+
+// NumEdges counts call-graph edges.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, ts := range g.Edges {
+		n += len(ts)
+	}
+	return n
+}
+
+// NumReachable counts reachable methods.
+func (g *Graph) NumReachable() int { return len(g.Reachable) }
+
+// PolyCallSites counts reachable virtual call sites with >= 2 targets.
+func (g *Graph) PolyCallSites() int {
+	n := 0
+	for inv, ts := range g.Edges {
+		if inv.Kind == lang.VirtualCall && len(ts) >= 2 {
+			n++
+		}
+	}
+	return n
+}
+
+// subtypesIndex maps each class to its (reflexive, transitive)
+// subclasses, interfaces included.
+func subtypesIndex(p *lang.Program) map[*lang.Class][]*lang.Class {
+	idx := make(map[*lang.Class][]*lang.Class, len(p.Classes))
+	for _, c := range p.Classes {
+		for _, super := range p.Classes {
+			if c.SubtypeOf(super) {
+				idx[super] = append(idx[super], c)
+			}
+		}
+	}
+	return idx
+}
+
+// chaTargets resolves a virtual call site under CHA, optionally
+// restricted to a set of instantiated classes (RTA).
+func chaTargets(subtypes map[*lang.Class][]*lang.Class, inv *lang.Invoke, instantiated map[*lang.Class]bool) []*lang.Method {
+	seen := map[*lang.Method]bool{}
+	var out []*lang.Method
+	for _, sub := range subtypes[inv.Base.Type] {
+		if sub.IsInterface {
+			continue
+		}
+		if instantiated != nil && !instantiated[sub] {
+			continue
+		}
+		if m := sub.Dispatch(inv.Callee.Sig()); m != nil && !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CHA builds the class-hierarchy-analysis call graph from the entry
+// method: reachability is computed as a fixpoint, but dispatch uses the
+// full hierarchy regardless of instantiation.
+func CHA(p *lang.Program) *Graph {
+	return build(p, false)
+}
+
+// RTA builds the rapid-type-analysis call graph: like CHA, but a class
+// only dispatches if a reachable allocation instantiates it. The
+// allocation set and the reachable set are computed as a mutual
+// fixpoint.
+func RTA(p *lang.Program) *Graph {
+	return build(p, true)
+}
+
+func build(p *lang.Program, rta bool) *Graph {
+	subtypes := subtypesIndex(p)
+	g := &Graph{
+		Edges:        make(map[*lang.Invoke][]*lang.Method),
+		Reachable:    make(map[*lang.Method]bool),
+		Instantiated: make(map[*lang.Class]bool),
+	}
+	if p.Entry == nil {
+		return g
+	}
+
+	var worklist []*lang.Method
+	reach := func(m *lang.Method) {
+		if m == nil || m.IsAbstract || g.Reachable[m] {
+			return
+		}
+		g.Reachable[m] = true
+		worklist = append(worklist, m)
+	}
+	reach(p.Entry)
+
+	// For RTA, virtual sites must be revisited when new classes become
+	// instantiated; keep the reachable virtual sites and iterate to a
+	// fixpoint over (reachable, instantiated).
+	var virtSites []*lang.Invoke
+	for {
+		progressed := false
+		for len(worklist) > 0 {
+			m := worklist[len(worklist)-1]
+			worklist = worklist[:len(worklist)-1]
+			progressed = true
+			for _, st := range m.Stmts {
+				switch s := st.(type) {
+				case *lang.Alloc:
+					if !g.Instantiated[s.Site.Type] {
+						g.Instantiated[s.Site.Type] = true
+					}
+				case *lang.Invoke:
+					switch s.Kind {
+					case lang.StaticCall, lang.SpecialCall:
+						g.Edges[s] = []*lang.Method{s.Callee}
+						reach(s.Callee)
+					case lang.VirtualCall:
+						virtSites = append(virtSites, s)
+					}
+				}
+			}
+		}
+		// (Re-)resolve all virtual sites against the current state.
+		changed := false
+		var inst map[*lang.Class]bool
+		if rta {
+			inst = g.Instantiated
+		}
+		for _, inv := range virtSites {
+			tgts := chaTargets(subtypes, inv, inst)
+			if len(tgts) != len(g.Edges[inv]) {
+				changed = true
+				g.Edges[inv] = tgts
+				for _, t := range tgts {
+					reach(t)
+				}
+			}
+		}
+		if !changed && !progressed {
+			break
+		}
+		if !changed && len(worklist) == 0 {
+			break
+		}
+	}
+	return g
+}

@@ -1,0 +1,179 @@
+package cha
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mahjong/internal/clients"
+	"mahjong/internal/lang"
+	"mahjong/internal/pta"
+	"mahjong/internal/synth"
+)
+
+// buildHierProgram: Base with subclasses S1 (instantiated) and S2
+// (never instantiated); a virtual call through a Base variable.
+func buildHierProgram(t *testing.T) (*lang.Program, *lang.Invoke, *lang.Method, *lang.Method) {
+	t.Helper()
+	p := lang.NewProgram()
+	base := p.NewClass("Base", nil)
+	base.NewAbstractMethod("m", nil, nil)
+	s1 := p.NewClass("S1", base)
+	m1 := s1.NewMethod("m", false, nil, nil)
+	m1.AddReturn(nil)
+	s2 := p.NewClass("S2", base)
+	m2 := s2.NewMethod("m", false, nil, nil)
+	m2.AddReturn(nil)
+
+	mainCls := p.NewClass("Main", nil)
+	m := mainCls.NewMethod("main", true, nil, nil)
+	b := m.NewVar("b", base)
+	m.AddAlloc(b, s1)
+	inv := m.AddVirtualCall(nil, b, "m")
+	m.AddReturn(nil)
+	p.SetEntry(m)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p, inv, m1, m2
+}
+
+func TestCHAOverapproximates(t *testing.T) {
+	p, inv, m1, m2 := buildHierProgram(t)
+	g := CHA(p)
+	tgts := g.Edges[inv]
+	if len(tgts) != 2 {
+		t.Fatalf("CHA targets=%v want both S1.m and S2.m", tgts)
+	}
+	if !g.Reachable[m1] || !g.Reachable[m2] {
+		t.Fatal("CHA must reach both overrides")
+	}
+	if g.PolyCallSites() != 1 {
+		t.Fatalf("poly=%d want 1", g.PolyCallSites())
+	}
+}
+
+func TestRTAUsesInstantiation(t *testing.T) {
+	p, inv, m1, m2 := buildHierProgram(t)
+	g := RTA(p)
+	tgts := g.Edges[inv]
+	if len(tgts) != 1 || tgts[0] != m1 {
+		t.Fatalf("RTA targets=%v want only S1.m", tgts)
+	}
+	if g.Reachable[m2] {
+		t.Fatal("RTA must not reach S2.m")
+	}
+	if g.PolyCallSites() != 0 {
+		t.Fatalf("poly=%d want 0", g.PolyCallSites())
+	}
+}
+
+// TestRTAFixpoint: a class instantiated only inside a method reached
+// through a virtual call must still be discovered (mutual fixpoint).
+func TestRTAFixpoint(t *testing.T) {
+	p := lang.NewProgram()
+	base := p.NewClass("Base", nil)
+	base.NewAbstractMethod("m", nil, nil)
+	s1 := p.NewClass("S1", base)
+	m1 := s1.NewMethod("m", false, nil, nil)
+	// S1.m instantiates S2 — only discoverable after S1.m is reachable.
+	s2 := p.NewClass("S2", base)
+	m2 := s2.NewMethod("m", false, nil, nil)
+	m2.AddReturn(nil)
+	tmp := m1.NewVar("tmp", base)
+	m1.AddAlloc(tmp, s2)
+	m1.AddVirtualCall(nil, tmp, "m")
+	m1.AddReturn(nil)
+
+	mainCls := p.NewClass("Main", nil)
+	m := mainCls.NewMethod("main", true, nil, nil)
+	b := m.NewVar("b", base)
+	m.AddAlloc(b, s1)
+	m.AddVirtualCall(nil, b, "m")
+	m.AddReturn(nil)
+	p.SetEntry(m)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := RTA(p)
+	if !g.Reachable[m2] {
+		t.Fatal("RTA fixpoint missed S2.m")
+	}
+	if !g.Instantiated[s2] {
+		t.Fatal("RTA missed S2 instantiation")
+	}
+}
+
+func TestEmptyEntry(t *testing.T) {
+	p := lang.NewProgram()
+	g := CHA(p)
+	if g.NumEdges() != 0 || g.NumReachable() != 0 {
+		t.Fatal("empty program should yield empty graph")
+	}
+}
+
+// TestQuickPrecisionOrdering: on random programs, points-to call graphs
+// are at most as large as RTA's, which is at most as large as CHA's;
+// and all are supersets of the points-to graph's edges (soundness of
+// the cheaper analyses w.r.t. the precise one, for this IR without
+// reflection).
+func TestQuickPrecisionOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		prog := synth.RandomProgram(seed)
+		chaG := CHA(prog)
+		rtaG := RTA(prog)
+		pt, err := pta.Solve(prog, pta.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := clients.Evaluate(pt)
+		// Edge counts: pta ≤ rta ≤ cha.
+		if !(m.CallGraphEdges <= rtaG.NumEdges() && rtaG.NumEdges() <= chaG.NumEdges()) {
+			t.Logf("seed=%d edges: pta=%d rta=%d cha=%d", seed, m.CallGraphEdges, rtaG.NumEdges(), chaG.NumEdges())
+			return false
+		}
+		// Reachability: pta ⊆ rta ⊆ cha.
+		for meth := range rtaG.Reachable {
+			if !chaG.Reachable[meth] {
+				return false
+			}
+		}
+		// Per-site target containment: pta targets ⊆ rta targets.
+		for _, inv := range pt.ReachableInvokes() {
+			rtaTs := map[*lang.Method]bool{}
+			for _, tm := range rtaG.Edges[inv] {
+				rtaTs[tm] = true
+			}
+			for _, tm := range pt.CallTargets(inv) {
+				if !rtaTs[tm] {
+					t.Logf("seed=%d site %v: pta target %v missing from RTA", seed, inv, tm)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnBenchmark(t *testing.T) {
+	prof, err := synth.ProfileByName("luindex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := synth.MustGenerate(prof)
+	chaG := CHA(prog)
+	rtaG := RTA(prog)
+	pt, err := pta.Solve(prog, pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := clients.Evaluate(pt)
+	if !(m.CallGraphEdges <= rtaG.NumEdges() && rtaG.NumEdges() <= chaG.NumEdges()) {
+		t.Fatalf("ordering violated: pta=%d rta=%d cha=%d", m.CallGraphEdges, rtaG.NumEdges(), chaG.NumEdges())
+	}
+	if chaG.PolyCallSites() < m.PolyCallSites {
+		t.Fatalf("CHA fewer poly sites (%d) than pta (%d)", chaG.PolyCallSites(), m.PolyCallSites)
+	}
+}

@@ -1,0 +1,210 @@
+package clients
+
+import (
+	"testing"
+
+	"mahjong/internal/lang"
+	"mahjong/internal/pta"
+)
+
+// buildClientProgram constructs a program exercising all three clients:
+//   - a genuinely polymorphic call (two receiver types at one site),
+//   - a devirtualizable mono-call,
+//   - a safe cast and a may-fail cast.
+func buildClientProgram(t *testing.T) (*lang.Program, *pta.Result) {
+	t.Helper()
+	p := lang.NewProgram()
+	base := p.NewClass("Base", nil)
+	base.NewAbstractMethod("m", nil, nil)
+	sub1 := p.NewClass("Sub1", base)
+	sub1.NewMethod("m", false, nil, nil).AddReturn(nil)
+	sub2 := p.NewClass("Sub2", base)
+	sub2.NewMethod("m", false, nil, nil).AddReturn(nil)
+
+	mainCls := p.NewClass("Main", nil)
+	m := mainCls.NewMethod("main", true, nil, nil)
+	a := m.NewVar("a", base)
+	b := m.NewVar("b", base)
+	mixed := m.NewVar("mixed", base)
+	c1 := m.NewVar("c1", sub1)
+	c2 := m.NewVar("c2", sub2)
+	m.AddAlloc(a, sub1)
+	m.AddAlloc(b, sub2)
+	m.AddCopy(mixed, a)
+	m.AddCopy(mixed, b)
+	m.AddVirtualCall(nil, mixed, "m") // poly: Sub1.m and Sub2.m
+	m.AddVirtualCall(nil, a, "m")     // mono: Sub1.m
+	m.AddCast(c1, sub1, a)            // safe
+	m.AddCast(c2, sub2, mixed)        // may fail (Sub1 flows in)
+	m.AddReturn(nil)
+	p.SetEntry(m)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := pta.Solve(p, pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, r
+}
+
+func TestEvaluate(t *testing.T) {
+	_, r := buildClientProgram(t)
+	m := Evaluate(r)
+	if m.PolyCallSites != 1 {
+		t.Errorf("poly=%d want 1", m.PolyCallSites)
+	}
+	if m.MayFailCasts != 1 {
+		t.Errorf("may-fail=%d want 1", m.MayFailCasts)
+	}
+	// main + Sub1.m + Sub2.m reachable.
+	if m.Reachable != 3 {
+		t.Errorf("reachable=%d want 3", m.Reachable)
+	}
+	// Edges: poly site has 2 targets, mono site 1.
+	if m.CallGraphEdges != 3 {
+		t.Errorf("edges=%d want 3", m.CallGraphEdges)
+	}
+}
+
+func TestPolyAndMonoSites(t *testing.T) {
+	_, r := buildClientProgram(t)
+	poly := PolyCallSites(r)
+	mono := MonoCallSites(r)
+	if len(poly) != 1 || len(mono) != 1 {
+		t.Fatalf("poly=%d mono=%d", len(poly), len(mono))
+	}
+	if poly[0] == mono[0] {
+		t.Fatal("same site classified twice")
+	}
+	// Together they cover all reachable virtual sites.
+	if len(poly)+len(mono) != len(r.ReachableInvokes()) {
+		t.Fatal("classification does not partition sites")
+	}
+}
+
+func TestCasts(t *testing.T) {
+	_, r := buildClientProgram(t)
+	fail := MayFailCasts(r)
+	safe := SafeCasts(r)
+	if len(fail) != 1 || len(safe) != 1 {
+		t.Fatalf("fail=%d safe=%d", len(fail), len(safe))
+	}
+	if fail[0].Type.Name != "Sub2" {
+		t.Errorf("wrong failing cast: %v", fail[0])
+	}
+	if safe[0].Type.Name != "Sub1" {
+		t.Errorf("wrong safe cast: %v", safe[0])
+	}
+}
+
+func TestEmptyProgramMetrics(t *testing.T) {
+	p := lang.NewProgram()
+	mainCls := p.NewClass("Main", nil)
+	m := mainCls.NewMethod("main", true, nil, nil)
+	m.AddReturn(nil)
+	p.SetEntry(m)
+	r, err := pta.Solve(p, pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := Evaluate(r)
+	if metrics.CallGraphEdges != 0 || metrics.PolyCallSites != 0 || metrics.MayFailCasts != 0 {
+		t.Fatalf("non-zero metrics on empty program: %+v", metrics)
+	}
+	if metrics.Reachable != 1 {
+		t.Fatalf("reachable=%d want 1 (main)", metrics.Reachable)
+	}
+}
+
+// TestCastWithEmptyIncoming: a cast whose operand never points anywhere
+// is trivially safe.
+func TestCastWithEmptyIncoming(t *testing.T) {
+	p := lang.NewProgram()
+	a := p.NewClass("A", nil)
+	mainCls := p.NewClass("Main", nil)
+	m := mainCls.NewMethod("main", true, nil, nil)
+	x := m.NewVar("x", a)
+	y := m.NewVar("y", a)
+	m.AddCast(y, a, x) // x never assigned
+	m.AddReturn(nil)
+	p.SetEntry(m)
+	r, err := pta.Solve(p, pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(MayFailCasts(r)); n != 0 {
+		t.Fatalf("empty cast reported may-fail: %d", n)
+	}
+	if n := len(SafeCasts(r)); n != 1 {
+		t.Fatalf("safe=%d want 1", n)
+	}
+}
+
+func TestUncaughtExceptionTypes(t *testing.T) {
+	p := lang.NewProgram()
+	errCls := p.NewClass("Err", nil)
+	ioErr := p.NewClass("IOErr", errCls)
+	lib := p.NewClass("Lib", nil)
+	boom := lib.NewMethod("boom", true, nil, nil)
+	ev := boom.NewVar("ev", ioErr)
+	boom.AddAlloc(ev, ioErr)
+	boom.AddThrow(ev)
+	boom.AddReturn(nil)
+	mainCls := p.NewClass("Main", nil)
+	m := mainCls.NewMethod("main", true, nil, nil)
+	m.AddStaticCall(nil, boom)
+	m.AddReturn(nil)
+	p.SetEntry(m)
+	r, err := pta.Solve(p, pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := UncaughtExceptionTypes(r)
+	if len(got) != 1 || got[0] != ioErr {
+		t.Fatalf("uncaught=%v want [IOErr]", got)
+	}
+}
+
+func TestUncaughtExceptionsNone(t *testing.T) {
+	p := lang.NewProgram()
+	mainCls := p.NewClass("Main", nil)
+	m := mainCls.NewMethod("main", true, nil, nil)
+	m.AddReturn(nil)
+	p.SetEntry(m)
+	r, err := pta.Solve(p, pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := UncaughtExceptionTypes(r); got != nil {
+		t.Fatalf("uncaught=%v want nil", got)
+	}
+}
+
+func TestMayAlias(t *testing.T) {
+	p := lang.NewProgram()
+	a := p.NewClass("A", nil)
+	mainCls := p.NewClass("Main", nil)
+	m := mainCls.NewMethod("main", true, nil, nil)
+	x := m.NewVar("x", a)
+	y := m.NewVar("y", a)
+	z := m.NewVar("z", a)
+	m.AddAlloc(x, a)
+	m.AddAlloc(y, a)
+	m.AddCopy(z, x)
+	m.AddReturn(nil)
+	p.SetEntry(m)
+	r, err := pta.Solve(p, pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MayAlias(r, x, y) {
+		t.Fatal("x and y must not alias")
+	}
+	if !MayAlias(r, x, z) {
+		t.Fatal("x and z must alias")
+	}
+	if got := AliasPairs(r, []*lang.Var{x, y, z}); got != 1 {
+		t.Fatalf("alias pairs=%d want 1", got)
+	}
+}

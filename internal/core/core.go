@@ -1,0 +1,317 @@
+// Package core implements MAHJONG's heap modeler: Algorithm 1 of the
+// paper. Given the field points-to graph of a pre-analysis, it merges
+// every pair of type-consistent objects (Definition 2.1) by testing the
+// equivalence of their sequential automata (package automata), and emits
+// the merged object map (MOM) that a subsequent points-to analysis
+// consumes through pta.NewMergedSiteModel.
+//
+// The §5 optimizations are implemented and individually controllable
+// for ablation: the disjoint-set forest (package unionfind), shared
+// sequential automata (package automata's Universe), and
+// synchronization-free parallel type-consistency checks partitioned by
+// object type.
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"mahjong/internal/automata"
+	"mahjong/internal/fpg"
+	"mahjong/internal/lang"
+	"mahjong/internal/pta"
+	"mahjong/internal/unionfind"
+)
+
+// RepPolicy selects the representative object of an equivalence class.
+// The choice does not affect soundness; Example 3.2 shows it can affect
+// M-ktype precision.
+type RepPolicy int
+
+const (
+	// RepFirst picks the member with the smallest node ID (the paper's
+	// "arbitrarily picked" representative, deterministically).
+	RepFirst RepPolicy = iota
+	// RepTypeDiverse prefers a member allocated in a class not yet used
+	// by representatives of other classes of the same object type,
+	// maximizing the type-context diversity available to M-ktype.
+	RepTypeDiverse
+)
+
+// Options configures the heap modeler.
+type Options struct {
+	// Workers bounds the goroutines running per-type merging; 0 means
+	// GOMAXPROCS, 1 disables parallelism (ablation).
+	Workers int
+	// Policy selects equivalence-class representatives.
+	Policy RepPolicy
+	// DisableSharing rebuilds automata in a private universe per object
+	// pair instead of hash-consing them in a shared one (ablation of the
+	// §5 "shared sequential automata" optimization). Semantics are
+	// unchanged; only time/space differ.
+	DisableSharing bool
+}
+
+// Result is the heap abstraction built by the modeler.
+type Result struct {
+	// MOM maps every allocation site to the representative site of its
+	// equivalence class (identity for singletons).
+	MOM map[*lang.AllocSite]*lang.AllocSite
+	// Classes lists the equivalence classes, largest first; members are
+	// ordered by FPG node ID. Singleton classes are included.
+	Classes []Class
+	// NumObjects is the number of pre-analysis abstract objects
+	// (the allocation-site abstraction's object count).
+	NumObjects int
+	// NumMerged is the number of abstract objects after merging
+	// (the Mahjong abstraction's object count, |H/≡|).
+	NumMerged int
+	// DFAStates is the number of distinct hash-consed DFA states built;
+	// SumDFAStates is what it would have been without sharing.
+	DFAStates    int
+	SumDFAStates int
+	// Duration is the wall-clock time of heap modeling (excluding the
+	// pre-analysis and FPG construction).
+	Duration time.Duration
+}
+
+// Class is one equivalence class of type-consistent objects.
+type Class struct {
+	Rep     *pta.Obj
+	Members []*pta.Obj // includes Rep
+	Type    *lang.Class
+}
+
+// Size returns the number of members.
+func (c Class) Size() int { return len(c.Members) }
+
+// Build runs Algorithm 1 on the FPG.
+func Build(g *fpg.Graph, opts Options) *Result {
+	start := time.Now()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	u := automata.NewUniverse(g)
+
+	// Group FPG nodes by type; only groups with ≥2 members can merge.
+	groups := make(map[int][]int) // type ID → node IDs
+	for id := 1; id < len(g.Objs); id++ {
+		t := g.TypeOf[id]
+		groups[t] = append(groups[t], id)
+	}
+	groupList := make([][]int, 0, len(groups))
+	for _, nodes := range groups {
+		if len(nodes) > 1 {
+			groupList = append(groupList, nodes)
+		}
+	}
+	// Deterministic order (largest groups first helps load balancing).
+	sort.Slice(groupList, func(i, j int) bool {
+		if len(groupList[i]) != len(groupList[j]) {
+			return len(groupList[i]) > len(groupList[j])
+		}
+		return groupList[i][0] < groupList[j][0]
+	})
+
+	// Phase 1 (sequential): run SINGLETYPE-CHECK and build all DFAs in
+	// the shared universe, so that phase 2 reads it without locks
+	// ("all shared automata are constructed beforehand", §5).
+	pass := make([]bool, len(g.Objs))
+	sumStates := 0
+	for _, nodes := range groupList {
+		for _, n := range nodes {
+			if u.SingleTypeOK(n) {
+				pass[n] = true
+				root := u.DFA(n)
+				sumStates += u.StateCount(root)
+			}
+		}
+	}
+
+	// Phase 2 (parallel): within each type group, compare each candidate
+	// against the running list of class representatives. Groups touch
+	// disjoint union-find trees (merging never crosses types), so the
+	// shared forest needs no synchronization across groups.
+	uf := unionfind.New(len(g.Objs))
+	mergeGroup := func(nodes []int) {
+		var reps []int
+		for _, n := range nodes {
+			if !pass[n] {
+				continue
+			}
+			merged := false
+			for _, r := range reps {
+				if equivalent(u, g, opts, r, n) {
+					uf.Union(r, n)
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				reps = append(reps, n)
+			}
+		}
+	}
+	if workers == 1 || len(groupList) < 2 {
+		for _, nodes := range groupList {
+			mergeGroup(nodes)
+		}
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan []int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for nodes := range work {
+					mergeGroup(nodes)
+				}
+			}()
+		}
+		for _, nodes := range groupList {
+			work <- nodes
+		}
+		close(work)
+		wg.Wait()
+	}
+
+	res := buildResult(g, uf, opts.Policy)
+	res.DFAStates = u.NumStates()
+	res.SumDFAStates = sumStates
+	res.Duration = time.Since(start)
+	return res
+}
+
+// equivalent tests automata equivalence of two objects, honoring the
+// sharing ablation.
+func equivalent(u *automata.Universe, g *fpg.Graph, opts Options, a, b int) bool {
+	if !opts.DisableSharing {
+		return u.Equivalent(u.Root(a), u.Root(b))
+	}
+	// Ablation: rebuild both automata from scratch in a throwaway
+	// universe, as a non-sharing implementation would.
+	fresh := automata.NewUniverse(g)
+	da, db := fresh.DFA(a), fresh.DFA(b)
+	return fresh.Equivalent(da, db)
+}
+
+// buildResult turns the union-find partition into classes and the MOM.
+func buildResult(g *fpg.Graph, uf *unionfind.Forest, policy RepPolicy) *Result {
+	members := make(map[int][]int)
+	for id := 1; id < len(g.Objs); id++ {
+		r := uf.Find(id)
+		members[r] = append(members[r], id)
+	}
+	roots := make([]int, 0, len(members))
+	for r := range members {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		if len(members[roots[i]]) != len(members[roots[j]]) {
+			return len(members[roots[i]]) > len(members[roots[j]])
+		}
+		return roots[i] < roots[j]
+	})
+
+	// Representative election. usedCtxClasses tracks, per object type,
+	// the allocating classes already claimed — by singleton classes,
+	// whose representative is forced, and by previously elected
+	// representatives. RepTypeDiverse prefers an unclaimed allocating
+	// class so that M-ktype keeps as many type contexts distinct as
+	// possible (Example 3.2).
+	usedCtxClasses := make(map[int]map[*lang.Class]bool)
+	if policy == RepTypeDiverse {
+		for _, r := range roots {
+			if len(members[r]) != 1 {
+				continue
+			}
+			t := g.TypeOf[r]
+			used := usedCtxClasses[t]
+			if used == nil {
+				used = make(map[*lang.Class]bool)
+				usedCtxClasses[t] = used
+			}
+			used[allocClass(g, members[r][0])] = true
+		}
+	}
+
+	res := &Result{
+		MOM:        make(map[*lang.AllocSite]*lang.AllocSite, g.NumObjects()),
+		NumObjects: g.NumObjects(),
+	}
+	for _, r := range roots {
+		ms := members[r]
+		sort.Ints(ms)
+		rep := ms[0]
+		if policy == RepTypeDiverse && len(ms) > 1 {
+			t := g.TypeOf[r]
+			used := usedCtxClasses[t]
+			if used == nil {
+				used = make(map[*lang.Class]bool)
+				usedCtxClasses[t] = used
+			}
+			for _, m := range ms {
+				if !used[allocClass(g, m)] {
+					rep = m
+					break
+				}
+			}
+			used[allocClass(g, rep)] = true
+		}
+		cls := Class{
+			Rep:  g.Objs[rep],
+			Type: g.Objs[rep].Type,
+		}
+		for _, m := range ms {
+			cls.Members = append(cls.Members, g.Objs[m])
+			for _, site := range g.Objs[m].Sites {
+				res.MOM[site] = g.Objs[rep].Rep
+			}
+		}
+		res.Classes = append(res.Classes, cls)
+	}
+	res.NumMerged = len(res.Classes)
+	return res
+}
+
+// allocClass returns the class containing node's allocation site — the
+// element k-type-sensitivity would use as context.
+func allocClass(g *fpg.Graph, node int) *lang.Class {
+	return g.Objs[node].Rep.Method.Owner
+}
+
+// HeapModel returns a pta heap model using this abstraction.
+func (r *Result) HeapModel() pta.HeapModel { return pta.NewMergedSiteModel(r.MOM) }
+
+// Reduction returns the fraction of objects removed by merging
+// (the Figure 8 statistic: ~62% on the paper's benchmarks).
+func (r *Result) Reduction() float64 {
+	if r.NumObjects == 0 {
+		return 0
+	}
+	return 1 - float64(r.NumMerged)/float64(r.NumObjects)
+}
+
+// SizeHistogram returns, for each equivalence class size, how many
+// classes have that size (the Figure 9 scatter), as sorted (size, count)
+// pairs.
+func (r *Result) SizeHistogram() [][2]int {
+	counts := make(map[int]int)
+	for _, c := range r.Classes {
+		counts[c.Size()]++
+	}
+	sizes := make([]int, 0, len(counts))
+	for s := range counts {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	out := make([][2]int, len(sizes))
+	for i, s := range sizes {
+		out[i] = [2]int{s, counts[s]}
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"mahjong/internal/lang"
+)
+
+// The persisted form of a heap abstraction: equivalence classes of
+// allocation-site labels. Labels are stable across runs because both
+// the benchmark generator and the parser assign them deterministically,
+// so an abstraction built once (the expensive pre-analysis + modeling)
+// can be reloaded for later analyses of the same program.
+
+type persistedAbstraction struct {
+	Version int              `json:"version"`
+	Objects int              `json:"objects"`
+	Classes []persistedClass `json:"classes"`
+}
+
+type persistedClass struct {
+	Rep     string   `json:"rep"`
+	Members []string `json:"members,omitempty"` // excluding the rep
+}
+
+const persistVersion = 1
+
+// Save writes the abstraction's merged-object map to w as JSON.
+// Singleton classes are omitted (identity is implied).
+func (r *Result) Save(w io.Writer) error {
+	out := persistedAbstraction{Version: persistVersion, Objects: r.NumObjects}
+	for _, c := range r.Classes {
+		if c.Size() < 2 {
+			continue
+		}
+		pc := persistedClass{Rep: c.Rep.Rep.Label}
+		for _, m := range c.Members {
+			for _, site := range m.Sites {
+				if site != c.Rep.Rep {
+					pc.Members = append(pc.Members, site.Label)
+				}
+			}
+		}
+		sort.Strings(pc.Members)
+		out.Classes = append(out.Classes, pc)
+	}
+	sort.Slice(out.Classes, func(i, j int) bool { return out.Classes[i].Rep < out.Classes[j].Rep })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadMOM reads a persisted abstraction and rebinds it to prog's
+// allocation sites by label, also returning the abstraction's original
+// reachable-object count. Labels present in the file but absent from
+// the program are an error (the file belongs to a different program
+// version); program sites absent from the file stay singletons.
+func LoadMOM(r io.Reader, prog *lang.Program) (map[*lang.AllocSite]*lang.AllocSite, int, error) {
+	var in persistedAbstraction
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, 0, fmt.Errorf("core: decoding abstraction: %w", err)
+	}
+	if in.Version != persistVersion {
+		return nil, 0, fmt.Errorf("core: unsupported abstraction version %d", in.Version)
+	}
+	byLabel := make(map[string]*lang.AllocSite, len(prog.Sites))
+	for _, s := range prog.Sites {
+		byLabel[s.Label] = s
+	}
+	mom := make(map[*lang.AllocSite]*lang.AllocSite)
+	for _, pc := range in.Classes {
+		rep, ok := byLabel[pc.Rep]
+		if !ok {
+			return nil, 0, fmt.Errorf("core: unknown representative site %q", pc.Rep)
+		}
+		mom[rep] = rep
+		for _, ml := range pc.Members {
+			m, ok := byLabel[ml]
+			if !ok {
+				return nil, 0, fmt.Errorf("core: unknown member site %q", ml)
+			}
+			if m.Type != rep.Type {
+				return nil, 0, fmt.Errorf("core: persisted class mixes types: %s vs %s", m, rep)
+			}
+			mom[m] = rep
+		}
+	}
+	return mom, in.Objects, nil
+}

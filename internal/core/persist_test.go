@@ -1,0 +1,71 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mahjong/internal/lang"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	prog, g, _ := figure1FPG(t)
+	res := Build(g, Options{})
+
+	var buf strings.Builder
+	if err := res.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	mom, objs, err := LoadMOM(strings.NewReader(buf.String()), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if objs != res.NumObjects {
+		t.Fatalf("persisted objects=%d want %d", objs, res.NumObjects)
+	}
+	// Loaded MOM must agree with the built one on every merged site;
+	// singletons are implied and may be absent from the loaded map.
+	for site, rep := range res.MOM {
+		if site == rep {
+			continue
+		}
+		if mom[site] != rep {
+			t.Fatalf("site %v: loaded rep %v, want %v", site, mom[site], rep)
+		}
+	}
+	// Reps map to themselves.
+	for _, rep := range mom {
+		if mom[rep] != rep {
+			t.Fatal("loaded MOM not idempotent")
+		}
+	}
+}
+
+func TestLoadRejectsWrongProgram(t *testing.T) {
+	_, g, _ := figure1FPG(t)
+	res := Build(g, Options{})
+	var buf strings.Builder
+	if err := res.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A different program lacks the saved labels.
+	prog2 := lang.NewProgram()
+	other := prog2.NewClass("Other", nil)
+	m := other.NewMethod("main", true, nil, nil)
+	v := m.NewVar("v", other)
+	m.AddAlloc(v, other)
+	m.AddReturn(nil)
+	prog2.SetEntry(m)
+	if _, _, err := LoadMOM(strings.NewReader(buf.String()), prog2); err == nil {
+		t.Fatal("loading into the wrong program must fail")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	prog, _, _ := figure1FPG(t)
+	if _, _, err := LoadMOM(strings.NewReader("not json"), prog); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, _, err := LoadMOM(strings.NewReader(`{"version": 99}`), prog); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}

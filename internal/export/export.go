@@ -1,0 +1,123 @@
+// Package export renders analysis results in interchange formats:
+// Graphviz DOT and JSON for call graphs, and DOT for field points-to
+// graphs. These are library conveniences for downstream tooling (call
+// graph diffing, visualization) rather than part of the paper's
+// evaluation.
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mahjong/internal/fpg"
+	"mahjong/internal/lang"
+	"mahjong/internal/pta"
+)
+
+// CallGraphDOT writes the context-insensitive call graph in DOT format.
+// Nodes are methods; one edge per (call site, target), labeled with the
+// call-site id. Output is deterministic.
+func CallGraphDOT(w io.Writer, r *pta.Result) error {
+	var b strings.Builder
+	b.WriteString("digraph callgraph {\n")
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+
+	// Stable node ids: method id.
+	methods := map[*lang.Method]bool{}
+	edges := r.CallGraphEdges()
+	for _, e := range edges {
+		methods[e.Site.In] = true
+		methods[e.Callee] = true
+	}
+	sorted := make([]*lang.Method, 0, len(methods))
+	for m := range methods {
+		sorted = append(sorted, m)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	for _, m := range sorted {
+		fmt.Fprintf(&b, "  m%d [label=%q];\n", m.ID, m.String())
+	}
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  m%d -> m%d [label=\"#%d\"];\n", e.Site.In.ID, e.Callee.ID, e.Site.ID)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// callGraphJSON is the JSON shape of an exported call graph.
+type callGraphJSON struct {
+	Methods []methodJSON `json:"methods"`
+	Edges   []edgeJSON   `json:"edges"`
+}
+
+type methodJSON struct {
+	ID     int    `json:"id"`
+	Name   string `json:"name"`
+	Static bool   `json:"static"`
+}
+
+type edgeJSON struct {
+	Site   int    `json:"site"`
+	Label  string `json:"label"`
+	Caller int    `json:"caller"`
+	Callee int    `json:"callee"`
+}
+
+// CallGraphJSON writes the context-insensitive call graph as JSON.
+func CallGraphJSON(w io.Writer, r *pta.Result) error {
+	out := callGraphJSON{}
+	seen := map[*lang.Method]bool{}
+	add := func(m *lang.Method) {
+		if !seen[m] {
+			seen[m] = true
+			out.Methods = append(out.Methods, methodJSON{ID: m.ID, Name: m.String(), Static: m.IsStatic})
+		}
+	}
+	for _, e := range r.CallGraphEdges() {
+		add(e.Site.In)
+		add(e.Callee)
+		out.Edges = append(out.Edges, edgeJSON{
+			Site: e.Site.ID, Label: e.Site.Label(),
+			Caller: e.Site.In.ID, Callee: e.Callee.ID,
+		})
+	}
+	sort.Slice(out.Methods, func(i, j int) bool { return out.Methods[i].ID < out.Methods[j].ID })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// FPGDOT writes a field points-to graph in DOT format. Nodes carry the
+// object label and type; the null node is a point. When mom is non-nil,
+// objects merged into the same equivalence class share a fill color
+// class (rendered via the same "group" attribute).
+func FPGDOT(w io.Writer, g *fpg.Graph, mom map[*lang.AllocSite]*lang.AllocSite) error {
+	var b strings.Builder
+	b.WriteString("digraph fpg {\n")
+	b.WriteString("  node [shape=ellipse, fontsize=9];\n")
+	b.WriteString("  n0 [label=\"null\", shape=point];\n")
+	for id := 1; id < len(g.Objs); id++ {
+		o := g.Objs[id]
+		attrs := fmt.Sprintf("label=\"%s\\n%s\"", o.Rep.Label, o.Type.Name)
+		if mom != nil {
+			if rep, ok := mom[o.Rep]; ok && rep != o.Rep {
+				attrs += fmt.Sprintf(", group=\"%s\"", rep.Label)
+			}
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", id, attrs)
+	}
+	for id := 1; id < len(g.Objs); id++ {
+		for _, f := range g.FieldsOf(id) {
+			for _, tgt := range g.Succ(id, f) {
+				fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", id, tgt, g.Fields[f].Name)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,128 @@
+package export
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mahjong/internal/core"
+	"mahjong/internal/fpg"
+	"mahjong/internal/lang"
+	"mahjong/internal/pta"
+	"mahjong/internal/synth"
+)
+
+func solveFig1(t *testing.T) (*synth.Figure1, *pta.Result) {
+	t.Helper()
+	f := synth.NewFigure1()
+	r, err := pta.Solve(f.Prog, pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, r
+}
+
+func TestCallGraphDOT(t *testing.T) {
+	_, r := solveFig1(t)
+	var sb strings.Builder
+	if err := CallGraphDOT(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph callgraph", "Main.main/0", "C.foo/0", "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "B.foo") {
+		t.Error("unreachable B.foo exported")
+	}
+	// Deterministic output.
+	var sb2 strings.Builder
+	if err := CallGraphDOT(&sb2, r); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != sb2.String() {
+		t.Error("DOT output nondeterministic")
+	}
+}
+
+func TestCallGraphJSON(t *testing.T) {
+	_, r := solveFig1(t)
+	var sb strings.Builder
+	if err := CallGraphJSON(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Methods []struct {
+			ID   int    `json:"id"`
+			Name string `json:"name"`
+		} `json:"methods"`
+		Edges []struct {
+			Caller int `json:"caller"`
+			Callee int `json:"callee"`
+		} `json:"edges"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(decoded.Edges) != 1 {
+		t.Fatalf("edges=%d want 1 (only a.foo())", len(decoded.Edges))
+	}
+	if len(decoded.Methods) != 2 {
+		t.Fatalf("methods=%d want 2 (main and C.foo)", len(decoded.Methods))
+	}
+}
+
+func TestFPGDOT(t *testing.T) {
+	f, r := solveFig1(t)
+	g := fpg.Build(r, fpg.Options{})
+	res := core.Build(g, core.Options{})
+	var sb strings.Builder
+	if err := FPGDOT(&sb, g, res.MOM); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph fpg", "null", "group="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FPG DOT missing %q", want)
+		}
+	}
+	// All six objects present.
+	for _, s := range f.Sites {
+		if !strings.Contains(out, s.Label) {
+			t.Errorf("missing site %s", s.Label)
+		}
+	}
+	// Nil MOM also works.
+	var sb2 strings.Builder
+	if err := FPGDOT(&sb2, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb2.String(), "group=") {
+		t.Error("group attribute without MOM")
+	}
+}
+
+func TestExportEmptyProgram(t *testing.T) {
+	p := lang.NewProgram()
+	mainCls := p.NewClass("Main", nil)
+	m := mainCls.NewMethod("main", true, nil, nil)
+	m.AddReturn(nil)
+	p.SetEntry(m)
+	r, err := pta.Solve(p, pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := CallGraphDOT(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "digraph callgraph") {
+		t.Error("missing header on empty graph")
+	}
+	sb.Reset()
+	if err := CallGraphJSON(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,252 @@
+// Package fpg builds the field points-to graph (FPG) of §2.2.1 from a
+// pre-analysis result.
+//
+// Nodes are the abstract heap objects discovered by the (allocation-site
+// based, context-insensitive) pre-analysis, plus a dummy null node: per
+// the paper, if o.f may be null then (o, f, o_null) is an edge, and the
+// null node has a self-loop on every field. Edges (o_i, f, o_j) mean
+// that o_i.f may point to o_j.
+//
+// The graph is the input of both the Mahjong heap modeler (package core)
+// and the automata layer (package automata): the FPG rooted at an object
+// o is read directly as the sequential automaton A_o of Figure 4.
+package fpg
+
+import (
+	"fmt"
+	"sort"
+
+	"mahjong/internal/lang"
+	"mahjong/internal/pta"
+)
+
+// NullNode is the node ID of the dummy null object.
+const NullNode = 0
+
+// NullType is the type ID assigned to the null node ("a special type for
+// o_null", §4.1).
+const NullType = 0
+
+// Edge is one labeled edge group: all successors of a node under one field.
+type Edge struct {
+	Field   int   // field ID (index into Graph.Fields)
+	Targets []int // sorted node IDs
+}
+
+// Graph is the field points-to graph.
+type Graph struct {
+	// Objs maps node ID → abstract object; Objs[0] is nil (the null node).
+	Objs []*pta.Obj
+	// TypeOf maps node ID → type ID; TypeOf[0] == NullType.
+	TypeOf []int
+	// Types maps type ID → class; Types[0] is nil (the null type).
+	Types []*lang.Class
+	// Fields maps field ID → field.
+	Fields []*lang.Field
+	// Out maps node ID → edges sorted by field ID. The null node's
+	// conceptual self-loops on every field are implicit (see Succ).
+	Out [][]Edge
+
+	nodeOf  map[*pta.Obj]int
+	typeOf  map[*lang.Class]int
+	fieldOf map[*lang.Field]int
+}
+
+// Options configures FPG construction.
+type Options struct {
+	// OmitNullNode drops null edges entirely (fields that may be null
+	// simply lack an out-edge). This is the ablation knob for the
+	// null-field handling of Table 1 (row "null") and §3.6.2.
+	OmitNullNode bool
+}
+
+// Build constructs the FPG from a points-to result. The result is
+// expected to come from the pre-analysis (context-insensitive,
+// allocation-site heap model), but any result works: points-to sets are
+// projected context-insensitively.
+func Build(r *pta.Result, opts Options) *Graph {
+	g := &Graph{
+		nodeOf:  make(map[*pta.Obj]int),
+		typeOf:  make(map[*lang.Class]int),
+		fieldOf: make(map[*lang.Field]int),
+	}
+	// Node 0: null.
+	g.Objs = append(g.Objs, nil)
+	g.TypeOf = append(g.TypeOf, NullType)
+	g.Types = append(g.Types, nil)
+	g.Out = append(g.Out, nil)
+
+	objs := r.Objs()
+	for _, o := range objs {
+		g.addNode(o)
+	}
+
+	// Field points-to facts from the analysis.
+	type key struct {
+		node  int
+		field int
+	}
+	edges := make(map[key][]int)
+	r.FieldPointsTo(func(base *pta.Obj, field *lang.Field, targets []*pta.Obj) {
+		bn, ok := g.nodeOf[base]
+		if !ok {
+			return
+		}
+		fid := g.fieldID(field)
+		k := key{bn, fid}
+		for _, t := range targets {
+			if tn, ok := g.nodeOf[t]; ok {
+				edges[k] = append(edges[k], tn)
+			}
+		}
+	})
+
+	// Null-field completion: every instance field of every object that has
+	// no recorded target may be null.
+	if !opts.OmitNullNode {
+		for id := 1; id < len(g.Objs); id++ {
+			for _, f := range g.Objs[id].Type.InstanceFields() {
+				k := key{id, g.fieldID(f)}
+				if len(edges[k]) == 0 {
+					edges[k] = []int{NullNode}
+				}
+			}
+		}
+	}
+
+	// Materialize sorted adjacency.
+	byNode := make(map[int][]Edge)
+	for k, tgts := range edges {
+		sort.Ints(tgts)
+		tgts = dedupSorted(tgts)
+		byNode[k.node] = append(byNode[k.node], Edge{Field: k.field, Targets: tgts})
+	}
+	for id := 1; id < len(g.Objs); id++ {
+		es := byNode[id]
+		sort.Slice(es, func(i, j int) bool { return es[i].Field < es[j].Field })
+		g.Out[id] = es
+	}
+	return g
+}
+
+func dedupSorted(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func (g *Graph) addNode(o *pta.Obj) int {
+	if id, ok := g.nodeOf[o]; ok {
+		return id
+	}
+	id := len(g.Objs)
+	g.Objs = append(g.Objs, o)
+	g.TypeOf = append(g.TypeOf, g.typeID(o.Type))
+	g.Out = append(g.Out, nil)
+	g.nodeOf[o] = id
+	return id
+}
+
+func (g *Graph) typeID(c *lang.Class) int {
+	if id, ok := g.typeOf[c]; ok {
+		return id
+	}
+	id := len(g.Types)
+	g.Types = append(g.Types, c)
+	g.typeOf[c] = id
+	return id
+}
+
+func (g *Graph) fieldID(f *lang.Field) int {
+	if id, ok := g.fieldOf[f]; ok {
+		return id
+	}
+	id := len(g.Fields)
+	g.Fields = append(g.Fields, f)
+	g.fieldOf[f] = id
+	return id
+}
+
+// NumObjects returns the number of real (non-null) nodes.
+func (g *Graph) NumObjects() int { return len(g.Objs) - 1 }
+
+// NumTypes returns the number of distinct object types (excluding null).
+func (g *Graph) NumTypes() int { return len(g.Types) - 1 }
+
+// NumFields returns the number of distinct fields appearing in the graph.
+func (g *Graph) NumFields() int { return len(g.Fields) }
+
+// Node returns the node ID of an abstract object, or -1.
+func (g *Graph) Node(o *pta.Obj) int {
+	if id, ok := g.nodeOf[o]; ok {
+		return id
+	}
+	return -1
+}
+
+// Succ returns the successors of node under field, handling the null
+// node's implicit self-loop. A nil slice means the transition is absent
+// (q_error in the equivalence checker).
+func (g *Graph) Succ(node, field int) []int {
+	if node == NullNode {
+		return nullSelf
+	}
+	es := g.Out[node]
+	i := sort.Search(len(es), func(i int) bool { return es[i].Field >= field })
+	if i < len(es) && es[i].Field == field {
+		return es[i].Targets
+	}
+	return nil
+}
+
+var nullSelf = []int{NullNode}
+
+// FieldsOf returns the field IDs on which node has outgoing edges,
+// ascending. The null node reports none: its self-loops are implicit.
+func (g *Graph) FieldsOf(node int) []int {
+	es := g.Out[node]
+	out := make([]int, len(es))
+	for i, e := range es {
+		out[i] = e.Field
+	}
+	return out
+}
+
+// Reachable returns all node IDs reachable from root (inclusive),
+// ascending. This is the state set Q of the NFA A_root (Algorithm 2).
+func (g *Graph) Reachable(root int) []int {
+	seen := make(map[int]bool)
+	stack := []int{root}
+	seen[root] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.Out[n] {
+			for _, t := range e.Targets {
+				if !seen[t] {
+					seen[t] = true
+					stack = append(stack, t)
+				}
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NFASize returns |Q| of the NFA rooted at node (the reachable set size),
+// the per-object size statistic reported in §6.1.1.
+func (g *Graph) NFASize(node int) int { return len(g.Reachable(node)) }
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("FPG{objects: %d, types: %d, fields: %d}", g.NumObjects(), g.NumTypes(), g.NumFields())
+}

@@ -1,0 +1,89 @@
+package integration
+
+import (
+	"testing"
+
+	"mahjong/internal/clients"
+	"mahjong/internal/core"
+	"mahjong/internal/fpg"
+	"mahjong/internal/lang"
+	"mahjong/internal/pta"
+	"mahjong/internal/synth"
+)
+
+// TestMahjongNotForAliasClients demonstrates the paper's §1 caveat on
+// Figure 1: after Mahjong merges o2 ≡ o3, the variables y and z (and
+// their f-fields' contents) alias under M-A even though the baseline
+// proves them disjoint — while every type-dependent metric is
+// unchanged. Mahjong targets type-dependent clients, not may-alias.
+func TestMahjongNotForAliasClients(t *testing.T) {
+	f := synth.NewFigure1()
+
+	base, err := pta.Solve(f.Prog, pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := fpg.Build(base, fpg.Options{})
+	res := core.Build(g, core.Options{})
+	merged, err := pta.Solve(f.Prog, pta.Options{Heap: res.HeapModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var y, z *lang.Var
+	for _, v := range f.Prog.Entry.Locals {
+		switch v.Name {
+		case "y":
+			y = v
+		case "z":
+			z = v
+		}
+	}
+	if y == nil || z == nil {
+		t.Fatal("variables not found")
+	}
+
+	if clients.MayAlias(base, y, z) {
+		t.Fatal("baseline must prove y and z disjoint")
+	}
+	if !clients.MayAlias(merged, y, z) {
+		t.Fatal("after merging o2 ≡ o3, y and z must alias")
+	}
+
+	// The alias-pair count over main's locals grows...
+	locals := f.Prog.Entry.Locals
+	if clients.AliasPairs(merged, locals) <= clients.AliasPairs(base, locals) {
+		t.Fatal("Mahjong should lose alias precision on Figure 1")
+	}
+	// ... while every type-dependent metric is untouched.
+	if clients.Evaluate(base) != clients.Evaluate(merged) {
+		t.Fatalf("type-dependent metrics changed: %+v vs %+v",
+			clients.Evaluate(base), clients.Evaluate(merged))
+	}
+}
+
+// TestAliasMonotone: abstraction coarsening can only add alias pairs.
+func TestAliasMonotone(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		prog := synth.RandomProgram(seed)
+		base, err := pta.Solve(prog, pta.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := fpg.Build(base, fpg.Options{})
+		res := core.Build(g, core.Options{})
+		merged, err := pta.Solve(prog, pta.Options{Heap: res.HeapModel()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ty, err := pta.Solve(prog, pta.Options{Heap: pta.NewAllocTypeModel()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		locals := prog.Entry.Locals
+		b, m, ta := clients.AliasPairs(base, locals), clients.AliasPairs(merged, locals), clients.AliasPairs(ty, locals)
+		if !(b <= m && m <= ta) {
+			t.Fatalf("seed %d: alias pairs not monotone: site=%d mahjong=%d type=%d", seed, b, m, ta)
+		}
+	}
+}

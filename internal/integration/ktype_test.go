@@ -1,0 +1,157 @@
+package integration
+
+import (
+	"testing"
+
+	"mahjong/internal/core"
+	"mahjong/internal/fpg"
+	"mahjong/internal/lang"
+	"mahjong/internal/pta"
+)
+
+// buildExample32 constructs the Figure 7 / Example 3.2 scenario:
+//
+//	class T { allocT(): o1 = new Box (f -> X), o2 = new Box (f -> Y) }
+//	class U { allocU(): o3 = new Box (f -> X) }
+//
+// o1 ≡ o3 (both boxes hold an X), o2 holds a Y and stays separate.
+// Under plain 2type, o1 and o2 share the context element T, so
+// Box.get() conflates them. Under M-2type, o1 merges with o3; if the
+// representative is o3 (allocated in U), the merged box uses context U
+// while o2 keeps T — M-2type becomes MORE precise than 2type. If the
+// representative is o1, M-2type equals 2type here.
+func buildExample32(t *testing.T) (*lang.Program, *lang.Var, *lang.Var) {
+	t.Helper()
+	p := lang.NewProgram()
+	obj := p.Object()
+	x := p.NewClass("X", nil)
+	y := p.NewClass("Y", nil)
+	box := p.NewClass("Box", nil)
+	f := box.NewField("f", obj)
+	get := box.NewMethod("get", false, nil, obj)
+	gv := get.NewVar("gv", obj)
+	get.AddLoad(gv, get.This, f)
+	get.AddReturn(gv)
+
+	tCls := p.NewClass("T", nil)
+	allocT := tCls.NewMethod("allocT", true, []*lang.Class{obj}, box)
+	{
+		o1 := allocT.NewVar("o1", box)
+		o2 := allocT.NewVar("o2", box)
+		vx := allocT.NewVar("vx", obj)
+		vy := allocT.NewVar("vy", obj)
+		allocT.AddAlloc(o1, box)
+		allocT.AddAlloc(vx, x)
+		allocT.AddStore(o1, f, vx)
+		allocT.AddAlloc(o2, box)
+		allocT.AddAlloc(vy, y)
+		allocT.AddStore(o2, f, vy)
+		// Return o1 or o2 depending on the (ignored) parameter:
+		// flow-insensitively, both escape; keep only o1 returned and pass
+		// o2 out via a second method to keep points-to sets separable.
+		allocT.AddReturn(o1)
+		allocT.AddReturn(o2)
+	}
+	uCls := p.NewClass("U", nil)
+	allocU := uCls.NewMethod("allocU", true, nil, box)
+	{
+		o3 := allocU.NewVar("o3", box)
+		vx := allocU.NewVar("vx", obj)
+		allocU.AddAlloc(o3, box)
+		allocU.AddAlloc(vx, x)
+		allocU.AddStore(o3, f, vx)
+		allocU.AddReturn(o3)
+	}
+
+	mainCls := p.NewClass("Main", nil)
+	m := mainCls.NewMethod("main", true, nil, nil)
+	dummy := m.NewVar("dummy", obj)
+	b12 := m.NewVar("b12", box)
+	b3 := m.NewVar("b3", box)
+	r1 := m.NewVar("r1", obj)
+	r3 := m.NewVar("r3", obj)
+	m.AddAlloc(dummy, x)
+	m.AddStaticCall(b12, allocT, dummy)
+	m.AddStaticCall(b3, allocU)
+	m.AddVirtualCall(r1, b12, "get")
+	m.AddVirtualCall(r3, b3, "get")
+	m.AddReturn(nil)
+	p.SetEntry(m)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p, r1, r3
+}
+
+// typeNames projects VarTypes to a name set.
+func typeNames(r *pta.Result, v *lang.Var) map[string]bool {
+	out := map[string]bool{}
+	for _, c := range r.VarTypes(v) {
+		out[c.Name] = true
+	}
+	return out
+}
+
+func TestExample32RepresentativeMatters(t *testing.T) {
+	prog, _, r3 := buildExample32(t)
+
+	pre, err := pta.Solve(prog, pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := fpg.Build(pre, fpg.Options{})
+
+	// Baseline 2type: o3's get() runs under context [U], but b3's
+	// points-to includes only o3, so r3 = {X} already; the conflation
+	// hits b12 (o1 and o2 share [T]): r1 sees X and Y under any type-
+	// sensitive analysis — that part cannot be fixed by Mahjong (o2 is
+	// genuinely separate). The observable difference of Example 3.2 is
+	// in the CONTEXT PARTITION: with a U-representative, the merged
+	// {o1,o3} box gets its own context, splitting Box.get's analysis.
+	base, err := pta.Solve(prog, pta.Options{Selector: pta.KType{K: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseCtxs := getContexts(base)
+
+	for _, tc := range []struct {
+		name   string
+		policy core.RepPolicy
+	}{
+		{"first", core.RepFirst},
+		{"diverse", core.RepTypeDiverse},
+	} {
+		res := core.Build(g, core.Options{Policy: tc.policy})
+		merged, err := pta.Solve(prog, pta.Options{Selector: pta.KType{K: 2}, Heap: res.HeapModel()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Soundness in all cases: r3 must still include X.
+		if !typeNames(merged, r3)["X"] {
+			t.Fatalf("%s: r3 lost X", tc.name)
+		}
+		mergedCtxs := getContexts(merged)
+		switch tc.policy {
+		case core.RepFirst:
+			// Representative o1 (class T): the merged box and o2 share
+			// context T — M-2type analyzes get under fewer or equal
+			// contexts than 2type.
+			if mergedCtxs > baseCtxs {
+				t.Fatalf("first: contexts grew: %d > %d", mergedCtxs, baseCtxs)
+			}
+		case core.RepTypeDiverse:
+			// Representative o3 (class U): merged box uses U, o2 uses T —
+			// the partition has two classes, like the baseline's best case.
+			if mergedCtxs < 2 {
+				t.Fatalf("diverse: get() analyzed under %d contexts, want >=2", mergedCtxs)
+			}
+		}
+	}
+}
+
+// getContexts counts distinct contexts under which Box.get is analyzed,
+// via the context-sensitive method count minus the context-insensitive
+// one (get is the only instance method, so the difference isolates it).
+func getContexts(r *pta.Result) int {
+	return r.NumCSMethods() - r.NumReachableMethods() + 1
+}

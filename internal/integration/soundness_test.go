@@ -1,0 +1,211 @@
+// Package integration holds cross-package property tests of the whole
+// pipeline: the soundness and abstraction-ordering invariants from
+// DESIGN.md §6, checked on randomly generated programs.
+package integration
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mahjong/internal/clients"
+	"mahjong/internal/core"
+	"mahjong/internal/fpg"
+	"mahjong/internal/lang"
+	"mahjong/internal/pta"
+	"mahjong/internal/synth"
+)
+
+// pipeline runs pre-analysis + FPG + Mahjong for a program.
+func pipeline(t testing.TB, prog *lang.Program) (*pta.Result, *core.Result) {
+	t.Helper()
+	pre, err := pta.Solve(prog, pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := fpg.Build(pre, fpg.Options{})
+	return pre, core.Build(g, core.Options{})
+}
+
+// typeSet returns the set of type names a variable may point to.
+func typeSet(r *pta.Result, v *lang.Var) map[string]bool {
+	out := map[string]bool{}
+	for _, c := range r.VarTypes(v) {
+		out[c.Name] = true
+	}
+	return out
+}
+
+func supersetOf(sup, sub map[string]bool) bool {
+	for k := range sub {
+		if !sup[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickMahjongTypeSoundness: for every variable of a random
+// program and every analysis, the set of pointed-to TYPES under the
+// Mahjong abstraction is a superset of the baseline's (merging can only
+// coarsen, §3.6.2 soundness).
+func TestQuickMahjongTypeSoundness(t *testing.T) {
+	selectors := []pta.Selector{pta.CI{}, pta.KCFA{K: 2}, pta.KObj{K: 2}, pta.KType{K: 2}}
+	f := func(seed int64) bool {
+		prog := synth.RandomProgram(seed)
+		_, mh := pipeline(t, prog)
+		for _, sel := range selectors {
+			base, err := pta.Solve(prog, pta.Options{Selector: sel})
+			if err != nil {
+				t.Fatal(err)
+			}
+			merged, err := pta.Solve(prog, pta.Options{Selector: sel, Heap: mh.HeapModel()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range prog.Methods {
+				for _, v := range m.Locals {
+					if !supersetOf(typeSet(merged, v), typeSet(base, v)) {
+						t.Logf("seed=%d sel=%s var=%s: base types %v not ⊆ mahjong types %v",
+							seed, sel.Name(), v, typeSet(base, v), typeSet(merged, v))
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickClientMetricOrdering: client metrics are monotone in
+// abstraction coarseness: baseline ≤ mahjong ≤ alloc-type for all three
+// clients (they can only get worse as objects merge), and the reachable
+// method sets grow the same way.
+func TestQuickClientMetricOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		prog := synth.RandomProgram(seed)
+		_, mh := pipeline(t, prog)
+		base, err := pta.Solve(prog, pta.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged, err := pta.Solve(prog, pta.Options{Heap: mh.HeapModel()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ty, err := pta.Solve(prog, pta.Options{Heap: pta.NewAllocTypeModel()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, m, ta := clients.Evaluate(base), clients.Evaluate(merged), clients.Evaluate(ty)
+		ok := b.CallGraphEdges <= m.CallGraphEdges && m.CallGraphEdges <= ta.CallGraphEdges &&
+			b.PolyCallSites <= m.PolyCallSites && m.PolyCallSites <= ta.PolyCallSites &&
+			b.MayFailCasts <= m.MayFailCasts && m.MayFailCasts <= ta.MayFailCasts &&
+			b.Reachable <= m.Reachable && m.Reachable <= ta.Reachable
+		if !ok {
+			t.Logf("seed=%d base=%+v mahjong=%+v type=%+v", seed, b, m, ta)
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickObjectCountOrdering: #objects(alloc-type) ≤ #objects(mahjong)
+// ≤ #objects(alloc-site): Mahjong sits strictly between the two
+// classical abstractions in coarseness.
+func TestQuickObjectCountOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		prog := synth.RandomProgram(seed)
+		_, mh := pipeline(t, prog)
+		ty, err := pta.Solve(prog, pta.Options{Heap: pta.NewAllocTypeModel()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nType := len(ty.Objs())
+		return nType <= mh.NumMerged && mh.NumMerged <= mh.NumObjects
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMOMWellFormed: the merged-object map is total over reachable
+// sites, idempotent, and type-preserving on random programs.
+func TestQuickMOMWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		prog := synth.RandomProgram(seed)
+		pre, mh := pipeline(t, prog)
+		for _, o := range pre.Objs() {
+			rep, ok := mh.MOM[o.Rep]
+			if !ok {
+				return false
+			}
+			if rep.Type != o.Rep.Type {
+				return false
+			}
+			if mh.MOM[rep] != rep {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeterministicPipeline: two runs over the same seed produce
+// identical abstractions and metrics.
+func TestQuickDeterministicPipeline(t *testing.T) {
+	f := func(seed int64) bool {
+		p1 := synth.RandomProgram(seed)
+		p2 := synth.RandomProgram(seed)
+		if p1.Stats() != p2.Stats() {
+			return false
+		}
+		_, m1 := pipeline(t, p1)
+		_, m2 := pipeline(t, p2)
+		if m1.NumMerged != m2.NumMerged || m1.NumObjects != m2.NumObjects {
+			return false
+		}
+		r1, err := pta.Solve(p1, pta.Options{Selector: pta.KObj{K: 2}, Heap: m1.HeapModel()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := pta.Solve(p2, pta.Options{Selector: pta.KObj{K: 2}, Heap: m2.HeapModel()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return clients.Evaluate(r1) == clients.Evaluate(r2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBudgetMonotone: with a larger budget, a run discovers at
+// least as many call-graph edges (partial results grow monotonically).
+func TestQuickBudgetMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		prog := synth.RandomProgram(seed)
+		small, err := pta.Solve(prog, pta.Options{Budget: pta.Budget{Work: 50}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		big, err := pta.Solve(prog, pta.Options{Budget: pta.Budget{Work: 1 << 30}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if big.Aborted {
+			return false
+		}
+		return small.NumCallGraphEdges() <= big.NumCallGraphEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package lang
+
+import "fmt"
+
+// Exception modeling. The IR treats exceptions the way flow-insensitive
+// points-to analyses (Doop's exception analysis, simplified) do:
+//
+//   - every concrete method has a synthetic exception variable $exc of
+//     type Object, created on first use;
+//   - `throw v` copies v into the method's $exc;
+//   - every call site propagates the callee's $exc into the caller's
+//     $exc (the exception may escape the callee);
+//   - `x = catch T` captures, type-filtered, from the method's own $exc
+//     (which accumulates the method's throws and everything its callees
+//     may throw). Flow-insensitively an exception may be both caught
+//     and escape, so catching does not remove it from $exc — a sound
+//     over-approximation.
+//
+// The entry method's $exc therefore over-approximates the program's
+// uncaught exceptions (see clients.UncaughtExceptionTypes).
+
+// Throw is `throw value`.
+type Throw struct {
+	Value *Var
+}
+
+// Catch is `lhs = catch T`: lhs receives every exception object of a
+// subtype of T that this method or its (transitive) callees may throw.
+type Catch struct {
+	LHS  *Var
+	Type *Class
+}
+
+func (*Throw) stmt() {}
+func (*Catch) stmt() {}
+
+func (s *Throw) String() string { return "throw " + s.Value.Name }
+func (s *Catch) String() string {
+	return fmt.Sprintf("%s = catch %s", s.LHS.Name, s.Type.Name)
+}
+
+// ExcVar returns the method's synthetic exception variable, creating it
+// on first use. Only call on concrete methods.
+func (m *Method) ExcVar() *Var {
+	if m.excVar == nil {
+		if m.IsAbstract {
+			panic("lang: exception variable on abstract method " + m.String())
+		}
+		m.excVar = m.NewVar("$exc", m.prog.Object())
+	}
+	return m.excVar
+}
+
+// HasExcVar reports whether the method's exception variable was created
+// (i.e. the method throws, catches, or contains any call).
+func (m *Method) HasExcVar() bool { return m.excVar != nil }
+
+// AddThrow appends `throw v`.
+func (m *Method) AddThrow(v *Var) {
+	m.ExcVar() // ensure the sink exists
+	m.addStmt(&Throw{Value: v})
+}
+
+// AddCatch appends `lhs = catch typ`.
+func (m *Method) AddCatch(lhs *Var, typ *Class) {
+	m.ExcVar()
+	m.addStmt(&Catch{LHS: lhs, Type: typ})
+}

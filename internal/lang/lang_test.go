@@ -1,0 +1,328 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildHierarchy creates: Object <- A <- B, A <- C, interface I (B implements I).
+func buildHierarchy(t *testing.T) (*Program, *Class, *Class, *Class, *Class) {
+	t.Helper()
+	p := NewProgram()
+	i := p.NewInterface("I")
+	a := p.NewClass("A", nil)
+	b := p.NewClass("B", a, i)
+	c := p.NewClass("C", a)
+	return p, a, b, c, i
+}
+
+func TestSubtyping(t *testing.T) {
+	p, a, b, c, i := buildHierarchy(t)
+	obj := p.Object()
+	cases := []struct {
+		sub, sup *Class
+		want     bool
+	}{
+		{a, a, true},
+		{b, a, true},
+		{c, a, true},
+		{a, b, false},
+		{b, c, false},
+		{b, i, true},
+		{c, i, false},
+		{a, obj, true},
+		{i, obj, true},
+		{obj, a, false},
+	}
+	for _, tc := range cases {
+		if got := tc.sub.SubtypeOf(tc.sup); got != tc.want {
+			t.Errorf("%s <: %s = %v, want %v", tc.sub, tc.sup, got, tc.want)
+		}
+	}
+}
+
+func TestTransitiveInterfaces(t *testing.T) {
+	p := NewProgram()
+	i1 := p.NewInterface("I1")
+	i2 := p.NewInterface("I2", i1)
+	a := p.NewClass("A", nil, i2)
+	b := p.NewClass("B", a)
+	if !a.SubtypeOf(i1) || !a.SubtypeOf(i2) {
+		t.Fatal("A should implement I1 and I2")
+	}
+	if !b.SubtypeOf(i1) {
+		t.Fatal("B should inherit I1 from A")
+	}
+}
+
+func TestArrays(t *testing.T) {
+	p, a, b, _, _ := buildHierarchy(t)
+	aArr := p.ArrayOf(a)
+	bArr := p.ArrayOf(b)
+	if p.ArrayOf(a) != aArr {
+		t.Fatal("ArrayOf not memoized")
+	}
+	if aArr.Name != "A[]" || !aArr.IsArray() || aArr.Elem != a {
+		t.Fatalf("bad array class %+v", aArr)
+	}
+	if !bArr.SubtypeOf(aArr) {
+		t.Fatal("B[] <: A[] (covariance) failed")
+	}
+	if aArr.SubtypeOf(bArr) {
+		t.Fatal("A[] should not subtype B[]")
+	}
+	if !aArr.SubtypeOf(p.Object()) {
+		t.Fatal("A[] <: Object failed")
+	}
+	if f := aArr.Field(ElemField); f == nil || f.Type != a {
+		t.Fatal("array element pseudo-field missing or mistyped")
+	}
+}
+
+func TestDispatch(t *testing.T) {
+	p, a, b, c, _ := buildHierarchy(t)
+	afoo := a.NewMethod("foo", false, nil, nil)
+	bfoo := b.NewMethod("foo", false, nil, nil)
+	// C does not override foo.
+	sig := Sig{Name: "foo", Arity: 0}
+	if got := b.Dispatch(sig); got != bfoo {
+		t.Fatalf("dispatch on B = %v, want B.foo", got)
+	}
+	if got := c.Dispatch(sig); got != afoo {
+		t.Fatalf("dispatch on C = %v, want A.foo", got)
+	}
+	if got := p.Object().Dispatch(sig); got != nil {
+		t.Fatalf("dispatch on Object = %v, want nil", got)
+	}
+	// Abstract methods are skipped by Dispatch but found by LookupMethod.
+	d := p.NewClass("D", nil)
+	dbar := d.NewAbstractMethod("bar", nil, nil)
+	e := p.NewClass("E", d)
+	ebar := e.NewMethod("bar", false, nil, nil)
+	if got := e.Dispatch(Sig{"bar", 0}); got != ebar {
+		t.Fatalf("dispatch E.bar = %v", got)
+	}
+	if got := d.Dispatch(Sig{"bar", 0}); got != nil {
+		t.Fatalf("dispatch on abstract D.bar = %v, want nil", got)
+	}
+	if got := d.LookupMethod(Sig{"bar", 0}); got != dbar {
+		t.Fatalf("lookup D.bar = %v", got)
+	}
+}
+
+func TestFieldResolution(t *testing.T) {
+	p, a, b, _, _ := buildHierarchy(t)
+	fa := a.NewField("f", a)
+	fb := b.NewField("g", p.Object())
+	if b.Field("f") != fa {
+		t.Fatal("inherited field not found")
+	}
+	if a.Field("g") != nil {
+		t.Fatal("subclass field visible from superclass")
+	}
+	got := b.InstanceFields()
+	if len(got) != 2 || got[0] != fa || got[1] != fb {
+		t.Fatalf("InstanceFields(B)=%v", got)
+	}
+}
+
+func TestStaticFields(t *testing.T) {
+	p, a, _, _, _ := buildHierarchy(t)
+	sf := a.NewStaticField("CACHE", a)
+	if !sf.IsStatic {
+		t.Fatal("static flag lost")
+	}
+	for _, f := range a.InstanceFields() {
+		if f == sf {
+			t.Fatal("static field listed among instance fields")
+		}
+	}
+	_ = p
+}
+
+func TestDuplicateClassPanics(t *testing.T) {
+	p := NewProgram()
+	p.NewClass("A", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate class did not panic")
+		}
+	}()
+	p.NewClass("A", nil)
+}
+
+func TestBuilderAndValidate(t *testing.T) {
+	p, a, b, _, _ := buildHierarchy(t)
+	fa := a.NewField("f", a)
+	afoo := a.NewMethod("foo", false, nil, a)
+	afoo.AddReturn(afoo.This)
+	b.NewMethod("foo", false, nil, a).AddReturn(nil) // void-ish? no: has RetVar
+
+	main := p.Class("A").prog.Class("A") // silly round-trip via map
+	if main != a {
+		t.Fatal("Class lookup broken")
+	}
+
+	mainCls := p.NewClass("Main", nil)
+	m := mainCls.NewMethod("main", true, nil, nil)
+	x := m.NewVar("x", a)
+	y := m.NewVar("y", a)
+	m.AddAlloc(x, b)
+	m.AddCopy(y, x)
+	m.AddStore(x, fa, y)
+	m.AddLoad(y, x, fa)
+	m.AddCast(y, b, x)
+	m.AddVirtualCall(y, x, "foo")
+	p.SetEntry(m)
+
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+
+	st := p.Stats()
+	if st.AllocSites != 1 || st.CallSites != 1 {
+		t.Fatalf("stats=%+v", st)
+	}
+	if st.Classes < 5 || st.Interfaces != 1 {
+		t.Fatalf("stats=%+v", st)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	p := NewProgram()
+	a := p.NewClass("A", nil)
+	other := p.NewClass("Other", nil)
+	om := other.NewMethod("m", true, nil, nil)
+	foreign := om.NewVar("v", a)
+
+	mainCls := p.NewClass("Main", nil)
+	m := mainCls.NewMethod("main", true, nil, nil)
+	m.AddCopy(foreign, foreign) // vars from the wrong method
+	p.SetEntry(m)
+	err := p.Validate()
+	if err == nil {
+		t.Fatal("expected validation error")
+	}
+	if !strings.Contains(err.Error(), "belongs to another method") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestValidateNoEntry(t *testing.T) {
+	p := NewProgram()
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "no entry") {
+		t.Fatalf("want no-entry error, got %v", err)
+	}
+}
+
+func TestEntryMustBeStatic(t *testing.T) {
+	p := NewProgram()
+	a := p.NewClass("A", nil)
+	m := a.NewMethod("run", false, nil, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetEntry(instance method) did not panic")
+		}
+	}()
+	p.SetEntry(m)
+}
+
+func TestAllocSiteLabels(t *testing.T) {
+	p := NewProgram()
+	a := p.NewClass("A", nil)
+	mc := p.NewClass("Main", nil)
+	m := mc.NewMethod("main", true, nil, nil)
+	x := m.NewVar("x", a)
+	s1 := m.AddAlloc(x, a)
+	s2 := m.AddAlloc(x, a)
+	if s1.Label == s2.Label {
+		t.Fatalf("alloc site labels collide: %q", s1.Label)
+	}
+	if s1.ID == s2.ID {
+		t.Fatal("alloc site ids collide")
+	}
+	if len(p.Sites) != 2 {
+		t.Fatalf("program sites=%d", len(p.Sites))
+	}
+}
+
+func TestStmtStrings(t *testing.T) {
+	p := NewProgram()
+	a := p.NewClass("A", nil)
+	f := a.NewField("f", a)
+	foo := a.NewMethod("foo", false, []*Class{a}, a)
+	foo.AddReturn(foo.This)
+	mc := p.NewClass("Main", nil)
+	m := mc.NewMethod("main", true, nil, nil)
+	x := m.NewVar("x", a)
+	y := m.NewVar("y", a)
+	m.AddAlloc(x, a)
+	m.AddStore(x, f, y)
+	m.AddLoad(y, x, f)
+	m.AddCast(y, a, x)
+	m.AddVirtualCall(y, x, "foo", x)
+	want := []string{
+		"x = new A",
+		"x.f = y",
+		"y = x.f",
+		"y = (A) x",
+		"y = virtualinvoke x.foo(x)",
+	}
+	for i, w := range want {
+		if got := m.Stmts[i].String(); got != w {
+			t.Errorf("stmt %d: %q want %q", i, got, w)
+		}
+	}
+}
+
+func TestExcVarLazyCreation(t *testing.T) {
+	p := NewProgram()
+	a := p.NewClass("A", nil)
+	m := a.NewMethod("quiet", true, nil, nil)
+	m.AddReturn(nil)
+	if m.HasExcVar() {
+		t.Fatal("$exc created without throw/catch/call")
+	}
+	ev := m.ExcVar()
+	if ev == nil || ev.Name != "$exc" || !m.HasExcVar() {
+		t.Fatalf("ExcVar=%v", ev)
+	}
+	if m.ExcVar() != ev {
+		t.Fatal("ExcVar not memoized")
+	}
+}
+
+func TestExcVarOnAbstractPanics(t *testing.T) {
+	p := NewProgram()
+	a := p.NewClass("A", nil)
+	m := a.NewAbstractMethod("abs", nil, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ExcVar on abstract method did not panic")
+		}
+	}()
+	m.ExcVar()
+}
+
+func TestThrowCatchBuilders(t *testing.T) {
+	p := NewProgram()
+	a := p.NewClass("A", nil)
+	errCls := p.NewClass("Err", nil)
+	m := a.NewMethod("run", true, nil, nil)
+	v := m.NewVar("v", errCls)
+	m.AddAlloc(v, errCls)
+	m.AddThrow(v)
+	c := m.NewVar("c", errCls)
+	m.AddCatch(c, errCls)
+	m.AddReturn(nil)
+	p.SetEntry(m)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stmts[1].String(); got != "throw v" {
+		t.Fatalf("Throw.String=%q", got)
+	}
+	if got := m.Stmts[2].String(); got != "c = catch Err" {
+		t.Fatalf("Catch.String=%q", got)
+	}
+}

@@ -1,0 +1,164 @@
+package lang
+
+import "fmt"
+
+// Stmt is one IR statement. The points-to analysis consumes statements
+// through a type switch; control flow within a method is irrelevant to a
+// flow-insensitive analysis, so statements form a bag, not a CFG.
+type Stmt interface {
+	stmt()
+	String() string
+}
+
+// Alloc is `lhs = new T` (T given by Site.Type).
+type Alloc struct {
+	LHS  *Var
+	Site *AllocSite
+}
+
+// Copy is `lhs = rhs`.
+type Copy struct {
+	LHS, RHS *Var
+}
+
+// Load is `lhs = base.field` (field "[]" for array element loads).
+type Load struct {
+	LHS, Base *Var
+	Field     *Field
+}
+
+// Store is `base.field = rhs` (field "[]" for array element stores).
+type Store struct {
+	Base  *Var
+	Field *Field
+	RHS   *Var
+}
+
+// StaticLoad is `lhs = C.field`.
+type StaticLoad struct {
+	LHS   *Var
+	Field *Field
+}
+
+// StaticStore is `C.field = rhs`.
+type StaticStore struct {
+	Field *Field
+	RHS   *Var
+}
+
+// Cast is `lhs = (T) rhs`. The analysis filters the flow by T; the
+// may-fail-casting client inspects the unfiltered points-to set of rhs.
+type Cast struct {
+	LHS  *Var
+	Type *Class
+	RHS  *Var
+}
+
+// InvokeKind discriminates call statements.
+type InvokeKind int8
+
+const (
+	// VirtualCall dispatches on the runtime type of Base.
+	VirtualCall InvokeKind = iota
+	// StaticCall targets a fixed static method; Base is nil.
+	StaticCall
+	// SpecialCall targets a fixed instance method (constructor/super).
+	SpecialCall
+)
+
+func (k InvokeKind) String() string {
+	switch k {
+	case VirtualCall:
+		return "virtualinvoke"
+	case StaticCall:
+		return "staticinvoke"
+	case SpecialCall:
+		return "specialinvoke"
+	}
+	return fmt.Sprintf("InvokeKind(%d)", int(k))
+}
+
+// Invoke is a call statement; the *Invoke value itself serves as the
+// call site (e.g. as a k-CFA context element).
+type Invoke struct {
+	ID     int     // globally unique call-site id
+	In     *Method // containing method
+	Kind   InvokeKind
+	LHS    *Var    // nil when the result is unused or the callee is void
+	Base   *Var    // receiver; nil for static calls
+	Callee *Method // static target, or statically resolved declaration for virtual calls
+	Args   []*Var
+}
+
+// Return is `return value` (Value nil for void returns).
+type Return struct {
+	Value *Var
+}
+
+func (*Alloc) stmt()       {}
+func (*Copy) stmt()        {}
+func (*Load) stmt()        {}
+func (*Store) stmt()       {}
+func (*StaticLoad) stmt()  {}
+func (*StaticStore) stmt() {}
+func (*Cast) stmt()        {}
+func (*Invoke) stmt()      {}
+func (*Return) stmt()      {}
+
+func (s *Alloc) String() string { return fmt.Sprintf("%s = new %s", s.LHS.Name, s.Site.Type.Name) }
+func (s *Copy) String() string  { return fmt.Sprintf("%s = %s", s.LHS.Name, s.RHS.Name) }
+func (s *Load) String() string {
+	return fmt.Sprintf("%s = %s.%s", s.LHS.Name, s.Base.Name, s.Field.Name)
+}
+func (s *Store) String() string {
+	return fmt.Sprintf("%s.%s = %s", s.Base.Name, s.Field.Name, s.RHS.Name)
+}
+func (s *StaticLoad) String() string {
+	return fmt.Sprintf("%s = %s", s.LHS.Name, s.Field)
+}
+func (s *StaticStore) String() string {
+	return fmt.Sprintf("%s = %s", s.Field, s.RHS.Name)
+}
+func (s *Cast) String() string {
+	return fmt.Sprintf("%s = (%s) %s", s.LHS.Name, s.Type.Name, s.RHS.Name)
+}
+func (s *Return) String() string {
+	if s.Value == nil {
+		return "return"
+	}
+	return "return " + s.Value.Name
+}
+
+func (s *Invoke) String() string {
+	out := ""
+	if s.LHS != nil {
+		out = s.LHS.Name + " = "
+	}
+	recv := ""
+	if s.Base != nil {
+		recv = s.Base.Name + "."
+	}
+	args := ""
+	for i, a := range s.Args {
+		if i > 0 {
+			args += ", "
+		}
+		args += a.Name
+	}
+	switch s.Kind {
+	case VirtualCall:
+		return fmt.Sprintf("%s%s %s%s(%s)", out, s.Kind, recv, s.Callee.Sig().Name, args)
+	default:
+		return fmt.Sprintf("%s%s %s%s.%s(%s)", out, s.Kind, recv, s.Callee.Owner.Name, s.Callee.Sig().Name, args)
+	}
+}
+
+// Label returns a stable human-readable call-site tag.
+func (s *Invoke) Label() string {
+	return fmt.Sprintf("%s/call#%d", s.In.String(), s.ID)
+}
+
+func (p *Program) nextInvokeID() int {
+	p.invokeCount++
+	return p.invokeCount - 1
+}

@@ -1,0 +1,175 @@
+package lang
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validate checks structural well-formedness of the program: an entry
+// point exists, every statement references variables of its own method,
+// assignments are type-compatible under loose OO rules (either direction
+// of the subtype relation is allowed, as after an implicit downcast the
+// IR does not re-check), and virtual calls resolve. It returns all
+// problems found, joined.
+func (p *Program) Validate() error {
+	var errs []error
+	report := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	if p.Entry == nil {
+		report("program has no entry method")
+	} else if !p.Entry.IsStatic {
+		report("entry method %s is not static", p.Entry)
+	}
+	for _, c := range p.Classes {
+		if c != p.objectClass && c.Super == nil && !c.IsInterface {
+			report("class %s has no superclass", c.Name)
+		}
+		for k := c.Super; k != nil; k = k.Super {
+			if k == c {
+				report("class %s participates in an inheritance cycle", c.Name)
+				break
+			}
+		}
+	}
+	for _, m := range p.Methods {
+		if m.IsAbstract && len(m.Stmts) > 0 {
+			report("abstract method %s has a body", m)
+		}
+		for i, st := range m.Stmts {
+			if err := m.checkStmt(st); err != nil {
+				report("%s stmt %d (%s): %v", m, i, st, err)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// assignable is the loose compatibility used by the validator: identical,
+// upcast, or downcast (the IR trusts explicit program structure; the
+// analysis itself applies precise filtering only at Cast statements).
+func assignable(src, dst *Class) bool {
+	return src.SubtypeOf(dst) || dst.SubtypeOf(src)
+}
+
+func (m *Method) checkVar(v *Var, role string) error {
+	if v == nil {
+		return fmt.Errorf("nil %s variable", role)
+	}
+	if v.Method != m {
+		return fmt.Errorf("%s variable %s belongs to another method", role, v)
+	}
+	return nil
+}
+
+func (m *Method) checkStmt(st Stmt) error {
+	switch s := st.(type) {
+	case *Alloc:
+		if err := m.checkVar(s.LHS, "lhs"); err != nil {
+			return err
+		}
+		if !assignable(s.Site.Type, s.LHS.Type) {
+			return fmt.Errorf("alloc of %s not assignable to %s", s.Site.Type, s.LHS.Type)
+		}
+	case *Copy:
+		if err := m.checkVar(s.LHS, "lhs"); err != nil {
+			return err
+		}
+		if err := m.checkVar(s.RHS, "rhs"); err != nil {
+			return err
+		}
+		if !assignable(s.RHS.Type, s.LHS.Type) {
+			return fmt.Errorf("copy %s to %s incompatible", s.RHS.Type, s.LHS.Type)
+		}
+	case *Load:
+		if err := m.checkVar(s.LHS, "lhs"); err != nil {
+			return err
+		}
+		if err := m.checkVar(s.Base, "base"); err != nil {
+			return err
+		}
+		if s.Base.Type.Field(s.Field.Name) == nil && !s.Base.Type.IsInterface && s.Base.Type != m.prog.objectClass {
+			return fmt.Errorf("type %s has no field %s", s.Base.Type, s.Field.Name)
+		}
+	case *Store:
+		if err := m.checkVar(s.Base, "base"); err != nil {
+			return err
+		}
+		if err := m.checkVar(s.RHS, "rhs"); err != nil {
+			return err
+		}
+	case *StaticLoad:
+		if err := m.checkVar(s.LHS, "lhs"); err != nil {
+			return err
+		}
+		if !s.Field.IsStatic {
+			return fmt.Errorf("static load of instance field %s", s.Field)
+		}
+	case *StaticStore:
+		if err := m.checkVar(s.RHS, "rhs"); err != nil {
+			return err
+		}
+		if !s.Field.IsStatic {
+			return fmt.Errorf("static store of instance field %s", s.Field)
+		}
+	case *Cast:
+		if err := m.checkVar(s.LHS, "lhs"); err != nil {
+			return err
+		}
+		if err := m.checkVar(s.RHS, "rhs"); err != nil {
+			return err
+		}
+		if !assignable(s.Type, s.LHS.Type) {
+			return fmt.Errorf("cast to %s not assignable to %s", s.Type, s.LHS.Type)
+		}
+	case *Invoke:
+		if s.LHS != nil {
+			if err := m.checkVar(s.LHS, "lhs"); err != nil {
+				return err
+			}
+			if s.Callee.Ret == nil {
+				return fmt.Errorf("void callee %s assigned to %s", s.Callee, s.LHS)
+			}
+		}
+		if s.Kind == StaticCall {
+			if s.Base != nil {
+				return errors.New("static call with receiver")
+			}
+		} else {
+			if err := m.checkVar(s.Base, "receiver"); err != nil {
+				return err
+			}
+		}
+		if s.Kind == VirtualCall && s.Base.Type.LookupMethod(s.Callee.Sig()) == nil {
+			return fmt.Errorf("virtual callee %s unresolvable from %s", s.Callee.Sig(), s.Base.Type)
+		}
+		for i, a := range s.Args {
+			if err := m.checkVar(a, fmt.Sprintf("arg%d", i)); err != nil {
+				return err
+			}
+		}
+	case *Return:
+		if s.Value != nil {
+			if err := m.checkVar(s.Value, "return"); err != nil {
+				return err
+			}
+			if m.RetVar == nil {
+				return errors.New("value return in void method")
+			}
+		}
+	case *Throw:
+		if err := m.checkVar(s.Value, "throw"); err != nil {
+			return err
+		}
+	case *Catch:
+		if err := m.checkVar(s.LHS, "catch"); err != nil {
+			return err
+		}
+		if !assignable(s.Type, s.LHS.Type) {
+			return fmt.Errorf("catch of %s not assignable to %s", s.Type, s.LHS.Type)
+		}
+	default:
+		return fmt.Errorf("unknown statement type %T", st)
+	}
+	return nil
+}

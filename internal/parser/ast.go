@@ -1,0 +1,82 @@
+package parser
+
+// Syntax tree produced by the parser, resolved by build.go. Names are
+// kept as strings here; semantic resolution happens in a second phase so
+// that declaration order in the source does not matter.
+
+type fileAST struct {
+	classes    []*classDecl
+	entryClass string
+	entryName  string
+	entryArity int
+	entryLine  int
+}
+
+type classDecl struct {
+	line        int
+	name        string
+	isInterface bool
+	super       string   // "" for none / Object
+	interfaces  []string // implements (classes) or extends (interfaces)
+	fields      []*fieldDecl
+	methods     []*methodDecl
+}
+
+type fieldDecl struct {
+	line   int
+	name   string
+	typ    typeRef
+	static bool
+}
+
+type methodDecl struct {
+	line     int
+	name     string
+	static   bool
+	abstract bool
+	params   []paramDecl
+	ret      typeRef // zero value means void
+	body     []*stmtAST
+}
+
+type paramDecl struct {
+	name string
+	typ  typeRef
+}
+
+// typeRef is a source-level type: a dotted class name plus array depth.
+type typeRef struct {
+	name string // "" means void
+	dims int
+}
+
+func (t typeRef) isVoid() bool { return t.name == "" }
+
+type stmtKind int8
+
+const (
+	sVarDecl  stmtKind = iota // var lhs : typ
+	sNew                      // lhs = new typ
+	sCopy                     // lhs = rhs
+	sGetField                 // lhs = base.sel   (base var → Load, class → StaticLoad)
+	sSetField                 // base.sel = rhs
+	sGetElem                  // lhs = rhs[]
+	sSetElem                  // lhs[] = rhs
+	sCast                     // lhs = (typ) rhs
+	sCall                     // [lhs =] base.sel(args)  (base var → virtual, class → static)
+	sSpecial                  // [lhs =] special base.typ.sel(args)
+	sReturn                   // return [rhs]
+	sThrow                    // throw rhs
+	sCatch                    // lhs = catch typ
+)
+
+type stmtAST struct {
+	kind stmtKind
+	line int
+	lhs  string   // assigned variable, or declared variable for sVarDecl
+	rhs  string   // source variable
+	base []string // dotted receiver: either a local var (1 part) or a class name
+	sel  string   // field or method name
+	typ  typeRef  // for sVarDecl/sNew/sCast, and callee class for sSpecial
+	args []string
+}

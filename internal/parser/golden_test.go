@@ -1,0 +1,68 @@
+package parser
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mahjong/internal/clients"
+	"mahjong/internal/pta"
+)
+
+// TestGoldenLuindex parses the checked-in dump of the luindex
+// benchmark (produced by cmd/synthgen), verifying that the parser
+// handles a full-scale program and that the text is a stable fixpoint
+// of Print∘Parse.
+func TestGoldenLuindex(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "luindex.ir"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Parse("luindex.ir", string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := prog.Stats()
+	if st.AllocSites < 500 || st.Methods < 200 {
+		t.Fatalf("golden program suspiciously small: %+v", st)
+	}
+
+	// Print → Parse → Print is a fixpoint.
+	text1 := Print(prog)
+	prog2, err := Parse("reprint.ir", text1)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if Print(prog2) != text1 {
+		t.Fatal("printer not a fixpoint on golden file")
+	}
+	if prog.Stats() != prog2.Stats() {
+		t.Fatal("stats drifted across round trip")
+	}
+}
+
+// TestGoldenAnalysisStable pins the context-insensitive client metrics
+// of the golden program: any unintended semantic change to the parser,
+// the solver or the clients shows up as a diff here.
+func TestGoldenAnalysisStable(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "luindex.ir"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Parse("luindex.ir", string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := pta.Solve(prog, pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := clients.Evaluate(r)
+	want := clients.Metrics{CallGraphEdges: 1057, PolyCallSites: 24, MayFailCasts: 68, Reachable: 249}
+	if m != want {
+		t.Fatalf("golden metrics drifted: got %+v want %+v\n"+
+			"(if the generator or analysis changed intentionally, regenerate "+
+			"testdata/luindex.ir with `go run ./cmd/synthgen -benchmark=luindex` "+
+			"and update this expectation)", m, want)
+	}
+}

@@ -1,0 +1,170 @@
+// Package parser implements the textual form of the lang IR: a lexer, a
+// recursive-descent parser, a semantic builder producing *lang.Program,
+// and a printer whose output round-trips through the parser.
+//
+// The format (see testdata and the README) looks like:
+//
+//	class A extends B implements I {
+//	  field f: A
+//	  static field CACHE: A[]
+//	  method foo(p: A): A {
+//	    var x: A
+//	    x = new A
+//	    x.f = p
+//	    x = p.foo(x)
+//	    return x
+//	  }
+//	}
+//	entry Main.main/0
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokLBrace
+	tokRBrace
+	tokLParen
+	tokRParen
+	tokColon
+	tokComma
+	tokAssign
+	tokDot
+	tokArr   // the two-character token "[]"
+	tokSlash // used in entry arity: Main.main/0
+	tokInt
+)
+
+var tokenNames = map[tokenKind]string{
+	tokEOF: "end of file", tokIdent: "identifier", tokLBrace: "'{'",
+	tokRBrace: "'}'", tokLParen: "'('", tokRParen: "')'", tokColon: "':'",
+	tokComma: "','", tokAssign: "'='", tokDot: "'.'", tokArr: "'[]'",
+	tokSlash: "'/'", tokInt: "integer",
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokIdent || t.kind == tokInt {
+		return fmt.Sprintf("%q", t.text)
+	}
+	return tokenNames[t.kind]
+}
+
+// lex splits src into tokens. Comments run from "//" to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '{':
+			toks = append(toks, token{tokLBrace, "{", line})
+			i++
+		case c == '}':
+			toks = append(toks, token{tokRBrace, "}", line})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", line})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", line})
+			i++
+		case c == ':':
+			toks = append(toks, token{tokColon, ":", line})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", line})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokAssign, "=", line})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", line})
+			i++
+		case c == '/':
+			toks = append(toks, token{tokSlash, "/", line})
+			i++
+		case c == '[':
+			if i+1 < n && src[i+1] == ']' {
+				toks = append(toks, token{tokArr, "[]", line})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("line %d: '[' must be followed by ']'", line)
+			}
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], line})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			for j < n && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{tokInt, src[i:j], line})
+			i = j
+		default:
+			return nil, fmt.Errorf("line %d: unexpected character %q", line, rune(c))
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || r == '$'
+}
+
+func isIdentPart(r rune) bool {
+	return isIdentStart(r) || unicode.IsDigit(r)
+}
+
+// keywords of the top-level and statement grammar. They are contextual:
+// an identifier is a keyword only where the grammar expects one, so
+// variables named e.g. "field" still lex as identifiers.
+const (
+	kwClass      = "class"
+	kwInterface  = "interface"
+	kwExtends    = "extends"
+	kwImplements = "implements"
+	kwField      = "field"
+	kwStatic     = "static"
+	kwMethod     = "method"
+	kwAbstract   = "abstract"
+	kwVar        = "var"
+	kwNew        = "new"
+	kwReturn     = "return"
+	kwEntry      = "entry"
+	kwSpecial    = "special"
+	kwVoid       = "void"
+	kwThrow      = "throw"
+	kwCatch      = "catch"
+)
+
+// dotted joins name parts for error messages.
+func dotted(parts []string) string { return strings.Join(parts, ".") }

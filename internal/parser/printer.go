@@ -1,0 +1,172 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"mahjong/internal/lang"
+)
+
+// Print renders a program in the textual IR format accepted by Parse.
+// Array classes are omitted (they are created on demand by the parser)
+// and synthetic variables (this, parameters, $ret) are not re-declared.
+// Print(Parse(s)) is semantically idempotent; see the round-trip tests.
+func Print(p *lang.Program) string {
+	var b strings.Builder
+	for _, c := range p.Classes {
+		if c == p.Object() || c.IsArray() {
+			continue
+		}
+		printClass(&b, p, c)
+		b.WriteByte('\n')
+	}
+	if p.Entry != nil {
+		fmt.Fprintf(&b, "entry %s.%s/%d\n", p.Entry.Owner.Name, p.Entry.Name, len(p.Entry.Params))
+	}
+	return b.String()
+}
+
+func typeName(c *lang.Class) string { return c.Name }
+
+func printClass(b *strings.Builder, p *lang.Program, c *lang.Class) {
+	if c.IsInterface {
+		fmt.Fprintf(b, "interface %s", c.Name)
+		if len(c.Interfaces) > 0 {
+			b.WriteString(" extends ")
+			writeNameList(b, c.Interfaces)
+		}
+	} else {
+		fmt.Fprintf(b, "class %s", c.Name)
+		if c.Super != nil && c.Super != p.Object() {
+			fmt.Fprintf(b, " extends %s", c.Super.Name)
+		}
+		if len(c.Interfaces) > 0 {
+			b.WriteString(" implements ")
+			writeNameList(b, c.Interfaces)
+		}
+	}
+	b.WriteString(" {\n")
+	for _, f := range c.DeclaredFields {
+		if f.IsStatic {
+			fmt.Fprintf(b, "  static field %s: %s\n", f.Name, typeName(f.Type))
+		} else {
+			fmt.Fprintf(b, "  field %s: %s\n", f.Name, typeName(f.Type))
+		}
+	}
+	for _, m := range c.DeclaredMethods {
+		printMethod(b, m)
+	}
+	b.WriteString("}\n")
+}
+
+func writeNameList(b *strings.Builder, cs []*lang.Class) {
+	for i, c := range cs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+	}
+}
+
+func printMethod(b *strings.Builder, m *lang.Method) {
+	b.WriteString("  ")
+	if m.IsStatic {
+		b.WriteString("static ")
+	}
+	if m.IsAbstract && !m.Owner.IsInterface {
+		b.WriteString("abstract ")
+	}
+	fmt.Fprintf(b, "method %s(", m.Name)
+	for i, pv := range m.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s: %s", pv.Name, typeName(pv.Type))
+	}
+	b.WriteString("): ")
+	if m.Ret == nil {
+		b.WriteString("void")
+	} else {
+		b.WriteString(typeName(m.Ret))
+	}
+	if m.IsAbstract {
+		b.WriteByte('\n')
+		return
+	}
+	b.WriteString(" {\n")
+	declared := map[*lang.Var]bool{m.This: true, m.RetVar: true}
+	for _, pv := range m.Params {
+		declared[pv] = true
+	}
+	for _, v := range m.Locals {
+		if v.Name == "$exc" {
+			continue // synthetic; recreated on demand by throw/catch/calls
+		}
+		if !declared[v] {
+			fmt.Fprintf(b, "    var %s: %s\n", v.Name, typeName(v.Type))
+		}
+	}
+	for _, st := range m.Stmts {
+		fmt.Fprintf(b, "    %s\n", stmtText(st))
+	}
+	b.WriteString("  }\n")
+}
+
+func stmtText(st lang.Stmt) string {
+	switch s := st.(type) {
+	case *lang.Alloc:
+		return fmt.Sprintf("%s = new %s", s.LHS.Name, typeName(s.Site.Type))
+	case *lang.Copy:
+		return fmt.Sprintf("%s = %s", s.LHS.Name, s.RHS.Name)
+	case *lang.Load:
+		if s.Field.Name == lang.ElemField {
+			return fmt.Sprintf("%s = %s[]", s.LHS.Name, s.Base.Name)
+		}
+		return fmt.Sprintf("%s = %s.%s", s.LHS.Name, s.Base.Name, s.Field.Name)
+	case *lang.Store:
+		if s.Field.Name == lang.ElemField {
+			return fmt.Sprintf("%s[] = %s", s.Base.Name, s.RHS.Name)
+		}
+		return fmt.Sprintf("%s.%s = %s", s.Base.Name, s.Field.Name, s.RHS.Name)
+	case *lang.StaticLoad:
+		return fmt.Sprintf("%s = %s.%s", s.LHS.Name, s.Field.Owner.Name, s.Field.Name)
+	case *lang.StaticStore:
+		return fmt.Sprintf("%s.%s = %s", s.Field.Owner.Name, s.Field.Name, s.RHS.Name)
+	case *lang.Cast:
+		return fmt.Sprintf("%s = (%s) %s", s.LHS.Name, typeName(s.Type), s.RHS.Name)
+	case *lang.Invoke:
+		var b strings.Builder
+		if s.LHS != nil {
+			b.WriteString(s.LHS.Name)
+			b.WriteString(" = ")
+		}
+		switch s.Kind {
+		case lang.VirtualCall:
+			fmt.Fprintf(&b, "%s.%s", s.Base.Name, s.Callee.Name)
+		case lang.StaticCall:
+			fmt.Fprintf(&b, "%s.%s", s.Callee.Owner.Name, s.Callee.Name)
+		case lang.SpecialCall:
+			fmt.Fprintf(&b, "special %s.%s.%s", s.Base.Name, s.Callee.Owner.Name, s.Callee.Name)
+		}
+		b.WriteByte('(')
+		for i, a := range s.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.Name)
+		}
+		b.WriteByte(')')
+		return b.String()
+	case *lang.Return:
+		if s.Value == nil {
+			return "return"
+		}
+		return "return " + s.Value.Name
+	case *lang.Throw:
+		return "throw " + s.Value.Name
+	case *lang.Catch:
+		return fmt.Sprintf("%s = catch %s", s.LHS.Name, typeName(s.Type))
+	default:
+		return fmt.Sprintf("// unknown stmt %T", st)
+	}
+}

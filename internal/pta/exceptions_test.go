@@ -1,0 +1,172 @@
+package pta
+
+import (
+	"testing"
+
+	"mahjong/internal/lang"
+)
+
+// buildThrower constructs:
+//
+//	Err extends Object; IOErr extends Err; RuntimeErr extends Err
+//	Lib.mayFail(): throws new IOErr
+//	Lib.bug(): throws new RuntimeErr
+//	Main.main(): calls both through a helper; catches Err from the
+//	helper; the catch sees both, the entry $exc also sees both.
+func buildThrower(t *testing.T) (*lang.Program, *lang.Var, *lang.Class, *lang.Class) {
+	t.Helper()
+	p := lang.NewProgram()
+	err := p.NewClass("Err", nil)
+	ioErr := p.NewClass("IOErr", err)
+	rtErr := p.NewClass("RuntimeErr", err)
+
+	lib := p.NewClass("Lib", nil)
+	mayFail := lib.NewMethod("mayFail", true, nil, nil)
+	e1 := mayFail.NewVar("e1", ioErr)
+	mayFail.AddAlloc(e1, ioErr)
+	mayFail.AddThrow(e1)
+	mayFail.AddReturn(nil)
+	bug := lib.NewMethod("bug", true, nil, nil)
+	e2 := bug.NewVar("e2", rtErr)
+	bug.AddAlloc(e2, rtErr)
+	bug.AddThrow(e2)
+	bug.AddReturn(nil)
+
+	helper := lib.NewMethod("runBoth", true, nil, nil)
+	helper.AddStaticCall(nil, mayFail)
+	helper.AddStaticCall(nil, bug)
+	helper.AddReturn(nil)
+
+	mainCls := p.NewClass("Main", nil)
+	m := mainCls.NewMethod("main", true, nil, nil)
+	caught := m.NewVar("caught", err)
+	m.AddStaticCall(nil, helper)
+	m.AddCatch(caught, err)
+	m.AddReturn(nil)
+	p.SetEntry(m)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p, caught, ioErr, rtErr
+}
+
+func TestExceptionPropagation(t *testing.T) {
+	p, caught, ioErr, rtErr := buildThrower(t)
+	for _, sel := range []Selector{CI{}, KCFA{K: 2}, KObj{K: 2}, KType{K: 2}} {
+		r, err := Solve(p, Options{Selector: sel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		types := map[string]bool{}
+		for _, c := range r.VarTypes(caught) {
+			types[c.Name] = true
+		}
+		if !types["IOErr"] || !types["RuntimeErr"] {
+			t.Fatalf("%s: caught types=%v want both IOErr and RuntimeErr", sel.Name(), types)
+		}
+		// The entry's $exc also sees both (catch does not subtract,
+		// flow-insensitively).
+		excTypes := map[*lang.Class]bool{}
+		for _, c := range r.VarTypes(p.Entry.ExcVar()) {
+			excTypes[c] = true
+		}
+		if !excTypes[ioErr] || !excTypes[rtErr] {
+			t.Fatalf("%s: entry $exc=%v", sel.Name(), excTypes)
+		}
+	}
+}
+
+func TestCatchTypeFilter(t *testing.T) {
+	// A catch of IOErr must not receive the RuntimeErr.
+	p, _, ioErr, _ := buildThrower(t)
+	m := p.Entry
+	narrow := m.NewVar("narrow", ioErr)
+	m.AddCatch(narrow, ioErr)
+	r, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := r.VarObjs(narrow)
+	if len(objs) != 1 || objs[0].Type != ioErr {
+		t.Fatalf("narrow catch sees %v, want only IOErr", objs)
+	}
+}
+
+func TestNoThrowNoExceptions(t *testing.T) {
+	p := lang.NewProgram()
+	mainCls := p.NewClass("Main", nil)
+	m := mainCls.NewMethod("main", true, nil, nil)
+	m.AddReturn(nil)
+	p.SetEntry(m)
+	r, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HasExcVar() {
+		// Created lazily only when calls/throws exist; main has neither.
+		t.Fatal("exception variable created for throw-free program")
+	}
+	_ = r
+}
+
+func TestThrowAcrossVirtualCall(t *testing.T) {
+	// An exception thrown in a virtually-dispatched method reaches the
+	// caller's catch.
+	p := lang.NewProgram()
+	err := p.NewClass("Err", nil)
+	iface := p.NewInterface("Task")
+	iface.NewAbstractMethod("run", nil, nil)
+	impl := p.NewClass("Impl", nil, iface)
+	run := impl.NewMethod("run", false, nil, nil)
+	ev := run.NewVar("ev", err)
+	run.AddAlloc(ev, err)
+	run.AddThrow(ev)
+	run.AddReturn(nil)
+
+	mainCls := p.NewClass("Main", nil)
+	m := mainCls.NewMethod("main", true, nil, nil)
+	tsk := m.NewVar("tsk", iface)
+	caught := m.NewVar("caught", err)
+	m.AddAlloc(tsk, impl)
+	m.AddVirtualCall(nil, tsk, "run")
+	m.AddCatch(caught, err)
+	m.AddReturn(nil)
+	p.SetEntry(m)
+	r := solveCI(t, p)
+	if got := len(r.VarObjs(caught)); got != 1 {
+		t.Fatalf("caught %d objs, want 1", got)
+	}
+}
+
+// TestExceptionsDontPerturbCallGraph: exception edges carry values, not
+// dispatch; adding a throw/catch pair must not change call-graph edges.
+func TestExceptionsDontPerturbCallGraph(t *testing.T) {
+	build := func(withExc bool) *lang.Program {
+		p := lang.NewProgram()
+		err := p.NewClass("Err", nil)
+		lib := p.NewClass("Lib", nil)
+		work := lib.NewMethod("work", true, nil, nil)
+		if withExc {
+			ev := work.NewVar("ev", err)
+			work.AddAlloc(ev, err)
+			work.AddThrow(ev)
+		}
+		work.AddReturn(nil)
+		mainCls := p.NewClass("Main", nil)
+		m := mainCls.NewMethod("main", true, nil, nil)
+		m.AddStaticCall(nil, work)
+		if withExc {
+			c := m.NewVar("c", err)
+			m.AddCatch(c, err)
+		}
+		m.AddReturn(nil)
+		p.SetEntry(m)
+		return p
+	}
+	r1 := solveCI(t, build(false))
+	r2 := solveCI(t, build(true))
+	if r1.NumCallGraphEdges() != r2.NumCallGraphEdges() {
+		t.Fatalf("exception statements changed call graph: %d vs %d",
+			r1.NumCallGraphEdges(), r2.NumCallGraphEdges())
+	}
+}

@@ -1,0 +1,146 @@
+package pta
+
+import (
+	"fmt"
+
+	"mahjong/internal/lang"
+)
+
+// Obj is an abstract heap object: the unit produced by a heap
+// abstraction. Under the allocation-site abstraction each allocation
+// site maps to its own Obj; coarser abstractions map several sites to
+// one Obj.
+type Obj struct {
+	ID    int
+	Type  *lang.Class
+	Rep   *lang.AllocSite   // representative allocation site
+	Sites []*lang.AllocSite // all sites merged into this object
+
+	// Merged reports whether more than one allocation site was merged.
+	Merged bool
+	// CtxInsensitive forces the solver to model this object (and heap
+	// contexts derived from it) context-insensitively, per §3.6.1:
+	// M-A always models merged objects context-insensitively.
+	CtxInsensitive bool
+}
+
+func (o *Obj) String() string { return o.Rep.Label }
+
+// HeapModel maps allocation sites to abstract objects.
+type HeapModel interface {
+	// Name identifies the abstraction in reports ("alloc-site",
+	// "alloc-type", "mahjong").
+	Name() string
+	// Obj returns the abstract object for site, creating it on first use.
+	Obj(site *lang.AllocSite) *Obj
+	// Objs returns all objects created so far.
+	Objs() []*Obj
+}
+
+// AllocSiteModel is the conventional allocation-site abstraction:
+// one object per allocation site.
+type AllocSiteModel struct {
+	bySite map[*lang.AllocSite]*Obj
+	objs   []*Obj
+}
+
+// NewAllocSiteModel returns an empty allocation-site abstraction.
+func NewAllocSiteModel() *AllocSiteModel {
+	return &AllocSiteModel{bySite: make(map[*lang.AllocSite]*Obj)}
+}
+
+func (m *AllocSiteModel) Name() string { return "alloc-site" }
+
+func (m *AllocSiteModel) Obj(site *lang.AllocSite) *Obj {
+	if o, ok := m.bySite[site]; ok {
+		return o
+	}
+	o := &Obj{ID: len(m.objs), Type: site.Type, Rep: site, Sites: []*lang.AllocSite{site}}
+	m.bySite[site] = o
+	m.objs = append(m.objs, o)
+	return o
+}
+
+func (m *AllocSiteModel) Objs() []*Obj { return m.objs }
+
+// AllocTypeModel is the naive allocation-type abstraction of §2.1:
+// all objects of the same type are merged, one object per type.
+type AllocTypeModel struct {
+	byType map[*lang.Class]*Obj
+	objs   []*Obj
+}
+
+// NewAllocTypeModel returns an empty allocation-type abstraction.
+func NewAllocTypeModel() *AllocTypeModel {
+	return &AllocTypeModel{byType: make(map[*lang.Class]*Obj)}
+}
+
+func (m *AllocTypeModel) Name() string { return "alloc-type" }
+
+func (m *AllocTypeModel) Obj(site *lang.AllocSite) *Obj {
+	if o, ok := m.byType[site.Type]; ok {
+		if o.Rep != site {
+			o.Sites = append(o.Sites, site)
+			o.Merged = true
+		}
+		return o
+	}
+	o := &Obj{ID: len(m.objs), Type: site.Type, Rep: site, Sites: []*lang.AllocSite{site}}
+	m.byType[site.Type] = o
+	m.objs = append(m.objs, o)
+	return o
+}
+
+func (m *AllocTypeModel) Objs() []*Obj { return m.objs }
+
+// MergedSiteModel implements the Mahjong heap abstraction: allocation
+// sites are partitioned by a merged-object map (MOM) produced by package
+// core, and each equivalence class becomes one abstract object whose
+// representative is the class's representative site. Merged objects are
+// marked context-insensitive per §3.6.1.
+type MergedSiteModel struct {
+	mom   map[*lang.AllocSite]*lang.AllocSite
+	byRep map[*lang.AllocSite]*Obj
+	objs  []*Obj
+}
+
+// NewMergedSiteModel builds a model from a merged-object map. Sites
+// absent from the map behave as singletons.
+func NewMergedSiteModel(mom map[*lang.AllocSite]*lang.AllocSite) *MergedSiteModel {
+	return &MergedSiteModel{
+		mom:   mom,
+		byRep: make(map[*lang.AllocSite]*Obj),
+	}
+}
+
+func (m *MergedSiteModel) Name() string { return "mahjong" }
+
+func (m *MergedSiteModel) Obj(site *lang.AllocSite) *Obj {
+	rep, ok := m.mom[site]
+	if !ok {
+		rep = site
+	}
+	if rep.Type != site.Type {
+		panic(fmt.Sprintf("pta: MOM merges across types: %s vs %s", rep, site))
+	}
+	if o, ok := m.byRep[rep]; ok {
+		if site != rep {
+			o.Sites = append(o.Sites, site)
+			o.Merged = true
+			o.CtxInsensitive = true
+		}
+		return o
+	}
+	o := &Obj{ID: len(m.objs), Type: rep.Type, Rep: rep, Sites: []*lang.AllocSite{site}}
+	if site != rep {
+		// The representative itself may never be reached; still record it.
+		o.Sites = []*lang.AllocSite{rep, site}
+		o.Merged = true
+		o.CtxInsensitive = true
+	}
+	m.byRep[rep] = o
+	m.objs = append(m.objs, o)
+	return o
+}
+
+func (m *MergedSiteModel) Objs() []*Obj { return m.objs }

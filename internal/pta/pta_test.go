@@ -1,0 +1,537 @@
+package pta
+
+import (
+	"testing"
+
+	"mahjong/internal/lang"
+)
+
+// figure1 builds the paper's Figure 1 program programmatically:
+//
+//	x = new A; y = new A; z = new A
+//	x.f = new B; y.f = new C; z.f = new C
+//	a = z.f; a.foo(); c = (C) a
+type fig1 struct {
+	prog          *lang.Program
+	a, b, c       *lang.Class
+	afoo          *lang.Method
+	bfoo, cfoo    *lang.Method
+	varA          *lang.Var
+	varC          *lang.Var
+	call          *lang.Invoke
+	cast          *lang.Cast
+	sites         []*lang.AllocSite // o1..o6 in paper order
+	x, y, z       *lang.Var
+	main          *lang.Method
+	fieldF        *lang.Field
+	varT          *lang.Var
+	classesByName map[string]*lang.Class
+}
+
+func buildFigure1(t testing.TB) *fig1 {
+	t.Helper()
+	p := lang.NewProgram()
+	a := p.NewClass("A", nil)
+	f := a.NewField("f", a)
+	afoo := a.NewMethod("foo", false, nil, nil)
+	afoo.AddReturn(nil)
+	b := p.NewClass("B", a)
+	bfoo := b.NewMethod("foo", false, nil, nil)
+	bfoo.AddReturn(nil)
+	c := p.NewClass("C", a)
+	cfoo := c.NewMethod("foo", false, nil, nil)
+	cfoo.AddReturn(nil)
+
+	mainCls := p.NewClass("Main", nil)
+	m := mainCls.NewMethod("main", true, nil, nil)
+	x := m.NewVar("x", a)
+	y := m.NewVar("y", a)
+	z := m.NewVar("z", a)
+	va := m.NewVar("a", a)
+	vc := m.NewVar("c", c)
+	t4 := m.NewVar("t4", a)
+	t5 := m.NewVar("t5", a)
+	t6 := m.NewVar("t6", a)
+
+	var sites []*lang.AllocSite
+	sites = append(sites, m.AddAlloc(x, a)) // o1
+	sites = append(sites, m.AddAlloc(y, a)) // o2
+	sites = append(sites, m.AddAlloc(z, a)) // o3
+	sites = append(sites, m.AddAlloc(t4, b))
+	m.AddStore(x, f, t4) // x.f = o4(B)
+	s5 := m.AddAlloc(t5, c)
+	m.AddStore(y, f, t5) // y.f = o5(C)
+	s6 := m.AddAlloc(t6, c)
+	m.AddStore(z, f, t6) // z.f = o6(C)
+	sites = append(sites, s5, s6)
+	m.AddLoad(va, z, f) // a = z.f
+	call := m.AddVirtualCall(nil, va, "foo")
+	m.AddCast(vc, c, va) // c = (C) a
+	var cast *lang.Cast
+	for _, st := range m.Stmts {
+		if cs, ok := st.(*lang.Cast); ok {
+			cast = cs
+		}
+	}
+	m.AddReturn(nil)
+	p.SetEntry(m)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("figure1 invalid: %v", err)
+	}
+	return &fig1{
+		prog: p, a: a, b: b, c: c, afoo: afoo, bfoo: bfoo, cfoo: cfoo,
+		varA: va, varC: vc, call: call, cast: cast, sites: sites,
+		x: x, y: y, z: z, main: m, fieldF: f, varT: t4,
+	}
+}
+
+func solveCI(t testing.TB, prog *lang.Program) *Result {
+	t.Helper()
+	r, err := Solve(prog, Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if r.Aborted {
+		t.Fatal("unexpected abort")
+	}
+	return r
+}
+
+func objTypes(objs []*Obj) map[string]bool {
+	out := map[string]bool{}
+	for _, o := range objs {
+		out[o.Type.Name] = true
+	}
+	return out
+}
+
+func TestFigure1AllocSiteCI(t *testing.T) {
+	f := buildFigure1(t)
+	r := solveCI(t, f.prog)
+
+	// x, y, z point to distinct singleton objects o1, o2, o3.
+	for _, v := range []*lang.Var{f.x, f.y, f.z} {
+		objs := r.VarObjs(v)
+		if len(objs) != 1 || objs[0].Type != f.a {
+			t.Fatalf("%s points to %v, want one A object", v.Name, objs)
+		}
+	}
+	// a = z.f points only to o6 of type C (alloc-site abstraction).
+	aObjs := r.VarObjs(f.varA)
+	if len(aObjs) != 1 || aObjs[0].Type != f.c || aObjs[0].Rep != f.sites[5] {
+		t.Fatalf("a points to %v, want exactly o6(C)", aObjs)
+	}
+	// a.foo() is a mono-call to C.foo.
+	tgts := r.CallTargets(f.call)
+	if len(tgts) != 1 || tgts[0] != f.cfoo {
+		t.Fatalf("call targets=%v want [C.foo]", tgts)
+	}
+	// The cast (C) a is safe.
+	casts := r.ReachableCasts()
+	if len(casts) != 1 {
+		t.Fatalf("reachable casts=%d want 1", len(casts))
+	}
+	for _, o := range casts[0].Incoming {
+		if !o.Type.SubtypeOf(f.c) {
+			t.Fatalf("cast sees non-C object %v", o)
+		}
+	}
+}
+
+func TestFigure1AllocTypeImprecise(t *testing.T) {
+	f := buildFigure1(t)
+	r, err := Solve(f.prog, Options{Heap: NewAllocTypeModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under the allocation-type abstraction o1, o2, o3 are merged, so
+	// x.f, y.f, z.f alias and `a` also sees the B object (§2.1).
+	types := objTypes(r.VarObjs(f.varA))
+	if !types["B"] || !types["C"] {
+		t.Fatalf("a sees %v, want both B and C under alloc-type", types)
+	}
+	if got := len(r.CallTargets(f.call)); got != 2 {
+		t.Fatalf("call targets=%d want 2 (poly-call)", got)
+	}
+	// The cast now may fail: a B object flows in.
+	casts := r.ReachableCasts()
+	mayFail := false
+	for _, o := range casts[0].Incoming {
+		if !o.Type.SubtypeOf(f.c) {
+			mayFail = true
+		}
+	}
+	if !mayFail {
+		t.Fatal("cast should be may-fail under alloc-type")
+	}
+}
+
+func TestFigure1MahjongStyleMerge(t *testing.T) {
+	f := buildFigure1(t)
+	// Manually merge o2 and o3 (the type-consistent pair per Example 2.3).
+	mom := map[*lang.AllocSite]*lang.AllocSite{
+		f.sites[1]: f.sites[1],
+		f.sites[2]: f.sites[1],
+	}
+	r, err := Solve(f.prog, Options{Heap: NewMergedSiteModel(mom)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a now sees o5 and o6 (both C) but not the B object: precision for
+	// type-dependent clients is preserved.
+	types := objTypes(r.VarObjs(f.varA))
+	if types["B"] {
+		t.Fatalf("a sees B after Mahjong merge: %v", types)
+	}
+	if !types["C"] {
+		t.Fatalf("a lost C: %v", types)
+	}
+	if got := len(r.CallTargets(f.call)); got != 1 {
+		t.Fatalf("call targets=%d want 1 after merge", got)
+	}
+	// Object count shrank by one.
+	if n, m := countObjs(t, f), len(r.Objs()); m != n-1 {
+		t.Fatalf("objs=%d want %d", m, n-1)
+	}
+}
+
+func countObjs(t *testing.T, f *fig1) int {
+	r := solveCI(t, f.prog)
+	return len(r.Objs())
+}
+
+// linkedChain builds a program where context sensitivity matters:
+// an identity wrapper `Id.wrap(v)` called from two sites with different
+// objects. CI conflates the returns; 1-CFA and 2obj keep them apart.
+func buildWrapper(t testing.TB) (*lang.Program, *lang.Var, *lang.Var, *lang.Class, *lang.Class) {
+	t.Helper()
+	p := lang.NewProgram()
+	a := p.NewClass("A", nil)
+	b := p.NewClass("B", nil)
+	idCls := p.NewClass("Id", nil)
+	obj := p.Object()
+	wrap := idCls.NewMethod("wrap", true, []*lang.Class{obj}, obj)
+	wrap.AddReturn(wrap.Params[0])
+
+	mainCls := p.NewClass("Main", nil)
+	m := mainCls.NewMethod("main", true, nil, nil)
+	va := m.NewVar("va", obj)
+	vb := m.NewVar("vb", obj)
+	ra := m.NewVar("ra", obj)
+	rb := m.NewVar("rb", obj)
+	m.AddAlloc(va, a)
+	m.AddAlloc(vb, b)
+	m.AddStaticCall(ra, wrap, va)
+	m.AddStaticCall(rb, wrap, vb)
+	m.AddReturn(nil)
+	p.SetEntry(m)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p, ra, rb, a, b
+}
+
+func TestContextSensitivityWrapper(t *testing.T) {
+	prog, ra, rb, a, b := buildWrapper(t)
+
+	ci := solveCI(t, prog)
+	// CI merges both calls: ra and rb each see both objects.
+	if got := len(ci.VarObjs(ra)); got != 2 {
+		t.Fatalf("ci: ra sees %d objs, want 2", got)
+	}
+
+	for _, sel := range []Selector{KCFA{K: 1}, KCFA{K: 2}} {
+		r, err := Solve(prog, Options{Selector: sel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		raObjs, rbObjs := r.VarObjs(ra), r.VarObjs(rb)
+		if len(raObjs) != 1 || raObjs[0].Type != a {
+			t.Fatalf("%s: ra sees %v, want [A]", sel.Name(), raObjs)
+		}
+		if len(rbObjs) != 1 || rbObjs[0].Type != b {
+			t.Fatalf("%s: rb sees %v, want [B]", sel.Name(), rbObjs)
+		}
+	}
+}
+
+// buildContainer builds the classic object-sensitivity example: two Box
+// instances whose set/get go through an internal this-call chain of
+// depth 2, so 1-CFA merges the stores while k-object-sensitivity keeps
+// the receivers apart.
+func buildContainer(t testing.TB) (*lang.Program, *lang.Var, *lang.Var, *lang.Class, *lang.Class) {
+	t.Helper()
+	p := lang.NewProgram()
+	obj := p.Object()
+	a := p.NewClass("A", nil)
+	b := p.NewClass("B", nil)
+	box := p.NewClass("Box", nil)
+	val := box.NewField("val", obj)
+	setImpl := box.NewMethod("setImpl", false, []*lang.Class{obj}, nil)
+	setImpl.AddStore(setImpl.This, val, setImpl.Params[0])
+	setImpl.AddReturn(nil)
+	set := box.NewMethod("set", false, []*lang.Class{obj}, nil)
+	set.AddVirtualCall(nil, set.This, "setImpl", set.Params[0])
+	set.AddReturn(nil)
+	getImpl := box.NewMethod("getImpl", false, nil, obj)
+	tmp := getImpl.NewVar("tmp", obj)
+	getImpl.AddLoad(tmp, getImpl.This, val)
+	getImpl.AddReturn(tmp)
+	get := box.NewMethod("get", false, nil, obj)
+	g := get.NewVar("g", obj)
+	get.AddVirtualCall(g, get.This, "getImpl")
+	get.AddReturn(g)
+
+	mainCls := p.NewClass("Main", nil)
+	m := mainCls.NewMethod("main", true, nil, nil)
+	b1 := m.NewVar("b1", box)
+	b2 := m.NewVar("b2", box)
+	va := m.NewVar("va", obj)
+	vb := m.NewVar("vb", obj)
+	ga := m.NewVar("ga", obj)
+	gb := m.NewVar("gb", obj)
+	m.AddAlloc(b1, box)
+	m.AddAlloc(b2, box)
+	m.AddAlloc(va, a)
+	m.AddAlloc(vb, b)
+	m.AddVirtualCall(nil, b1, "set", va)
+	m.AddVirtualCall(nil, b2, "set", vb)
+	m.AddVirtualCall(ga, b1, "get")
+	m.AddVirtualCall(gb, b2, "get")
+	m.AddReturn(nil)
+	p.SetEntry(m)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p, ga, gb, a, b
+}
+
+func TestObjectSensitivityBeatsCallSite(t *testing.T) {
+	prog, ga, gb, a, b := buildContainer(t)
+
+	// 1-CFA: the internal this-call chain merges the two boxes' contents
+	// (setImpl/getImpl each have a single call site).
+	r1, err := Solve(prog, Options{Selector: KCFA{K: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r1.VarObjs(ga)); got != 2 {
+		t.Fatalf("1cs: ga sees %d objs, want 2 (imprecise)", got)
+	}
+
+	// 2obj separates the two Box receivers.
+	for _, sel := range []Selector{KObj{K: 2}, KObj{K: 3}} {
+		r2, err := Solve(prog, Options{Selector: sel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gaObjs, gbObjs := r2.VarObjs(ga), r2.VarObjs(gb)
+		if len(gaObjs) != 1 || gaObjs[0].Type != a {
+			t.Fatalf("%s: ga sees %v, want [A]", sel.Name(), gaObjs)
+		}
+		if len(gbObjs) != 1 || gbObjs[0].Type != b {
+			t.Fatalf("%s: gb sees %v, want [B]", sel.Name(), gbObjs)
+		}
+	}
+
+	// 2type on this program also works: the two boxes are allocated in
+	// the same class, so type-sensitivity merges them again.
+	rt, err := Solve(prog, Options{Selector: KType{K: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rt.VarObjs(ga)); got != 2 {
+		t.Fatalf("2type: ga sees %d objs, want 2 (coarser than 2obj)", got)
+	}
+}
+
+func TestVirtualDispatchHierarchy(t *testing.T) {
+	f := buildFigure1(t)
+	r := solveCI(t, f.prog)
+	// Dispatch must pick C.foo for a C receiver even though the declared
+	// callee is A.foo.
+	tgts := r.CallTargets(f.call)
+	if len(tgts) != 1 || tgts[0].Owner != f.c {
+		t.Fatalf("dispatch=%v", tgts)
+	}
+	if !r.ReachableMethod(f.cfoo) || r.ReachableMethod(f.bfoo) {
+		t.Fatal("reachability wrong: want C.foo reachable, B.foo not")
+	}
+}
+
+func TestStaticFieldsFlow(t *testing.T) {
+	p := lang.NewProgram()
+	a := p.NewClass("A", nil)
+	holder := p.NewClass("Holder", nil)
+	sf := holder.NewStaticField("S", a)
+	mainCls := p.NewClass("Main", nil)
+	m := mainCls.NewMethod("main", true, nil, nil)
+	x := m.NewVar("x", a)
+	y := m.NewVar("y", a)
+	m.AddAlloc(x, a)
+	m.AddStaticStore(sf, x)
+	m.AddStaticLoad(y, sf)
+	m.AddReturn(nil)
+	p.SetEntry(m)
+	r := solveCI(t, p)
+	if got := len(r.VarObjs(y)); got != 1 {
+		t.Fatalf("y sees %d objs", got)
+	}
+}
+
+func TestArrayFlow(t *testing.T) {
+	p := lang.NewProgram()
+	a := p.NewClass("A", nil)
+	arr := p.ArrayOf(a)
+	elem := arr.Field(lang.ElemField)
+	mainCls := p.NewClass("Main", nil)
+	m := mainCls.NewMethod("main", true, nil, nil)
+	va := m.NewVar("va", arr)
+	x := m.NewVar("x", a)
+	y := m.NewVar("y", a)
+	m.AddAlloc(va, arr)
+	m.AddAlloc(x, a)
+	m.AddStore(va, elem, x)
+	m.AddLoad(y, va, elem)
+	m.AddReturn(nil)
+	p.SetEntry(m)
+	r := solveCI(t, p)
+	objs := r.VarObjs(y)
+	if len(objs) != 1 || objs[0].Type != a {
+		t.Fatalf("y sees %v", objs)
+	}
+}
+
+func TestCastFiltering(t *testing.T) {
+	// x holds an A and a B; y = (B) x must only hold the B.
+	p := lang.NewProgram()
+	a := p.NewClass("A", nil)
+	b := p.NewClass("B", a)
+	mainCls := p.NewClass("Main", nil)
+	m := mainCls.NewMethod("main", true, nil, nil)
+	x := m.NewVar("x", a)
+	y := m.NewVar("y", b)
+	m.AddAlloc(x, a)
+	m.AddAlloc(x, b)
+	m.AddCast(y, b, x)
+	m.AddReturn(nil)
+	p.SetEntry(m)
+	r := solveCI(t, p)
+	objs := r.VarObjs(y)
+	if len(objs) != 1 || objs[0].Type != b {
+		t.Fatalf("cast filter failed: y sees %v", objs)
+	}
+	// The may-fail client still sees both incoming objects.
+	casts := r.ReachableCasts()
+	if len(casts) != 1 || len(casts[0].Incoming) != 2 {
+		t.Fatalf("incoming=%v", casts)
+	}
+}
+
+func TestBudgetAbort(t *testing.T) {
+	f := buildFigure1(t)
+	r, err := Solve(f.prog, Options{Budget: Budget{Work: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Aborted {
+		t.Fatal("expected budget abort")
+	}
+	// Determinism: same budget, same work counter.
+	r2, _ := Solve(f.prog, Options{Budget: Budget{Work: 3}})
+	if r.Work != r2.Work {
+		t.Fatalf("budget abort nondeterministic: %d vs %d", r.Work, r2.Work)
+	}
+}
+
+func TestNoEntryError(t *testing.T) {
+	p := lang.NewProgram()
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Fatal("want error for missing entry")
+	}
+}
+
+func TestSpecialCallBindsReceiver(t *testing.T) {
+	p := lang.NewProgram()
+	a := p.NewClass("A", nil)
+	fld := a.NewField("f", a)
+	init := a.NewMethod("init", false, []*lang.Class{a}, nil)
+	init.AddStore(init.This, fld, init.Params[0])
+	init.AddReturn(nil)
+	// B overrides init, but a special call must NOT dispatch to it.
+	b := p.NewClass("B", a)
+	binit := b.NewMethod("init", false, []*lang.Class{a}, nil)
+	binit.AddReturn(nil)
+
+	mainCls := p.NewClass("Main", nil)
+	m := mainCls.NewMethod("main", true, nil, nil)
+	x := m.NewVar("x", a)
+	v := m.NewVar("v", a)
+	out := m.NewVar("out", a)
+	m.AddAlloc(x, b)
+	m.AddAlloc(v, a)
+	m.AddSpecialCall(nil, x, init, v)
+	m.AddLoad(out, x, fld)
+	m.AddReturn(nil)
+	p.SetEntry(m)
+	r := solveCI(t, p)
+	if got := len(r.VarObjs(out)); got != 1 {
+		t.Fatalf("special call broken: out sees %d objs", got)
+	}
+	if r.ReachableMethod(binit) {
+		t.Fatal("special call dispatched virtually to B.init")
+	}
+}
+
+func TestRecursionTerminates(t *testing.T) {
+	p := lang.NewProgram()
+	a := p.NewClass("A", nil)
+	node := p.NewClass("Node", nil)
+	next := node.NewField("next", node)
+	mainCls := p.NewClass("Main", nil)
+	rec := mainCls.NewMethod("build", true, []*lang.Class{node}, node)
+	n2 := rec.NewVar("n2", node)
+	rec.AddAlloc(n2, node)
+	rec.AddStore(n2, next, rec.Params[0])
+	out := rec.NewVar("out", node)
+	rec.AddStaticCall(out, rec, n2) // recursion; base case below
+	rec.AddReturn(out)
+	rec.AddReturn(n2) // flow-insensitive base case
+
+	m := mainCls.NewMethod("main", true, nil, nil)
+	n0 := m.NewVar("n0", node)
+	res := m.NewVar("res", node)
+	m.AddAlloc(n0, node)
+	m.AddStaticCall(res, rec, n0)
+	m.AddReturn(nil)
+	p.SetEntry(m)
+	_ = a
+	for _, sel := range []Selector{CI{}, KCFA{K: 2}, KObj{K: 2}, KType{K: 3}} {
+		r, err := Solve(p, Options{Selector: sel, Budget: Budget{Work: 1 << 20}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Aborted {
+			t.Fatalf("%s: recursion did not terminate within budget", sel.Name())
+		}
+		if len(r.VarObjs(res)) == 0 {
+			t.Fatalf("%s: res empty", sel.Name())
+		}
+	}
+}
+
+func TestMergedSiteModelCrossTypePanics(t *testing.T) {
+	f := buildFigure1(t)
+	mom := map[*lang.AllocSite]*lang.AllocSite{
+		f.sites[3]: f.sites[4], // B site merged into C site: invalid
+		f.sites[4]: f.sites[4],
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-type MOM did not panic")
+		}
+	}()
+	model := NewMergedSiteModel(mom)
+	model.Obj(f.sites[4])
+	model.Obj(f.sites[3])
+}

@@ -1,0 +1,213 @@
+package pta
+
+import (
+	"sort"
+
+	"mahjong/internal/bitset"
+	"mahjong/internal/lang"
+)
+
+// CSObjs returns all context-sensitive objects, indexed by their IDs
+// (the bit positions of points-to sets).
+func (r *Result) CSObjs() []*CSObj { return r.solver.csobjs }
+
+// Objs returns the abstract objects the heap model created during the run.
+func (r *Result) Objs() []*Obj { return r.solver.opts.Heap.Objs() }
+
+// NumCSObjs returns the number of context-sensitive objects.
+func (r *Result) NumCSObjs() int { return len(r.solver.csobjs) }
+
+// NumNodes returns the number of pointer nodes in the flow graph.
+func (r *Result) NumNodes() int { return len(r.solver.nodes) }
+
+// NumReachableMethods returns context-insensitively distinct reachable methods.
+func (r *Result) NumReachableMethods() int { return len(r.solver.ciMethods) }
+
+// NumCSMethods returns (context, method) pairs analyzed.
+func (r *Result) NumCSMethods() int { return len(r.solver.reachList) }
+
+// ReachableMethod reports whether m is reachable under any context.
+func (r *Result) ReachableMethod(m *lang.Method) bool { return r.solver.ciMethods[m] }
+
+// VarPointsTo returns the context-insensitive projection of v's
+// points-to set: the union over all analyzed contexts, as a set of
+// CSObj IDs.
+func (r *Result) VarPointsTo(v *lang.Var) *bitset.Set {
+	out := bitset.New(0)
+	for _, id := range r.solver.varIndex[v] {
+		out.Union(&r.solver.nodes[id].pts)
+	}
+	return out
+}
+
+// VarObjs returns the abstract objects v may point to, deduplicated and
+// ordered by object ID.
+func (r *Result) VarObjs(v *lang.Var) []*Obj {
+	seen := map[*Obj]bool{}
+	var out []*Obj
+	r.VarPointsTo(v).ForEach(func(i int) bool {
+		o := r.solver.csobjs[i].Obj
+		if !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// VarTypes returns the set of types v may point to, sorted by name.
+func (r *Result) VarTypes(v *lang.Var) []*lang.Class {
+	seen := map[*lang.Class]bool{}
+	var out []*lang.Class
+	for _, o := range r.VarObjs(v) {
+		if !seen[o.Type] {
+			seen[o.Type] = true
+			out = append(out, o.Type)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FieldPointsTo returns the context-insensitive points-to relation for
+// object fields: for each (abstract object, field) pair that has a
+// points-to set, fn is called with the union over heap contexts as
+// abstract objects. It drives the FPG builder.
+func (r *Result) FieldPointsTo(fn func(base *Obj, field *lang.Field, targets []*Obj)) {
+	type objField struct {
+		obj   *Obj
+		field *lang.Field
+	}
+	merged := make(map[objField]map[*Obj]bool)
+	for k, nodeID := range r.solver.fieldNodes {
+		base := r.solver.csobjs[k.obj].Obj
+		key := objField{base, k.field}
+		tgts := merged[key]
+		if tgts == nil {
+			tgts = make(map[*Obj]bool)
+			merged[key] = tgts
+		}
+		r.solver.nodes[nodeID].pts.ForEach(func(i int) bool {
+			tgts[r.solver.csobjs[i].Obj] = true
+			return true
+		})
+	}
+	keys := make([]objField, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].obj.ID != keys[j].obj.ID {
+			return keys[i].obj.ID < keys[j].obj.ID
+		}
+		return keys[i].field.ID < keys[j].field.ID
+	})
+	for _, k := range keys {
+		set := merged[k]
+		out := make([]*Obj, 0, len(set))
+		for o := range set {
+			out = append(out, o)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		fn(k.obj, k.field, out)
+	}
+}
+
+// CallEdge is one context-insensitive call-graph edge.
+type CallEdge struct {
+	Site   *lang.Invoke
+	Callee *lang.Method
+}
+
+// CallGraphEdges returns the context-insensitive call graph as a sorted
+// edge list (by call-site ID, then callee ID).
+func (r *Result) CallGraphEdges() []CallEdge {
+	var out []CallEdge
+	for inv, tgts := range r.solver.ciEdges {
+		for m := range tgts {
+			out = append(out, CallEdge{Site: inv, Callee: m})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Site.ID != out[j].Site.ID {
+			return out[i].Site.ID < out[j].Site.ID
+		}
+		return out[i].Callee.ID < out[j].Callee.ID
+	})
+	return out
+}
+
+// NumCallGraphEdges counts context-insensitive call-graph edges.
+func (r *Result) NumCallGraphEdges() int {
+	n := 0
+	for _, tgts := range r.solver.ciEdges {
+		n += len(tgts)
+	}
+	return n
+}
+
+// CallTargets returns the distinct dispatch targets discovered for a
+// call site, sorted by method ID.
+func (r *Result) CallTargets(inv *lang.Invoke) []*lang.Method {
+	tgts := r.solver.ciEdges[inv]
+	out := make([]*lang.Method, 0, len(tgts))
+	for m := range tgts {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ReachableCast is one reachable cast statement together with the types
+// that may flow into it (the unfiltered points-to set of its operand,
+// unioned over contexts).
+type ReachableCast struct {
+	Stmt     *lang.Cast
+	Incoming []*Obj
+}
+
+// ReachableCasts returns every cast statement reached by the analysis
+// (deduplicated over contexts), with incoming abstract objects, sorted
+// by the order casts were first discovered.
+func (r *Result) ReachableCasts() []ReachableCast {
+	byStmt := make(map[*lang.Cast]map[*Obj]bool)
+	var order []*lang.Cast
+	for _, cs := range r.solver.casts {
+		set := byStmt[cs.stmt]
+		if set == nil {
+			set = make(map[*Obj]bool)
+			byStmt[cs.stmt] = set
+			order = append(order, cs.stmt)
+		}
+		r.solver.nodes[cs.rhsNode].pts.ForEach(func(i int) bool {
+			set[r.solver.csobjs[i].Obj] = true
+			return true
+		})
+	}
+	out := make([]ReachableCast, 0, len(order))
+	for _, stmt := range order {
+		objs := make([]*Obj, 0, len(byStmt[stmt]))
+		for o := range byStmt[stmt] {
+			objs = append(objs, o)
+		}
+		sort.Slice(objs, func(i, j int) bool { return objs[i].ID < objs[j].ID })
+		out = append(out, ReachableCast{Stmt: stmt, Incoming: objs})
+	}
+	return out
+}
+
+// ReachableInvokes returns every virtual call site reached by the
+// analysis, sorted by site ID. Static and special calls are excluded:
+// they are never poly-calls.
+func (r *Result) ReachableInvokes() []*lang.Invoke {
+	var out []*lang.Invoke
+	for inv := range r.solver.ciEdges {
+		if inv.Kind == lang.VirtualCall {
+			out = append(out, inv)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

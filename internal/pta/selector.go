@@ -1,0 +1,89 @@
+package pta
+
+import (
+	"fmt"
+
+	"mahjong/internal/lang"
+)
+
+// Selector chooses calling contexts and heap contexts; it is the
+// context-sensitivity axis of the analysis.
+type Selector interface {
+	// Name identifies the sensitivity in reports ("ci", "2cs", "3obj", …).
+	Name() string
+	// CalleeContext picks the context under which callee is analyzed for
+	// a call from callerCtx at inv. recv is the context-sensitive
+	// receiver object, nil for static calls.
+	CalleeContext(t *ContextTable, callerCtx *Context, inv *lang.Invoke, callee *lang.Method, recv *CSObj) *Context
+	// HeapContext picks the heap context for an object allocated while
+	// analyzing a method under allocCtx.
+	HeapContext(t *ContextTable, allocCtx *Context, obj *Obj) *Context
+}
+
+// CI is the context-insensitive selector.
+type CI struct{}
+
+func (CI) Name() string { return "ci" }
+
+func (CI) CalleeContext(t *ContextTable, _ *Context, _ *lang.Invoke, _ *lang.Method, _ *CSObj) *Context {
+	return t.Empty()
+}
+
+func (CI) HeapContext(t *ContextTable, _ *Context, _ *Obj) *Context { return t.Empty() }
+
+// KCFA is k-call-site sensitivity: methods are analyzed per sequence of
+// the k most recent call sites; heap contexts keep k-1 call sites, the
+// convention the paper cites for allocation sites.
+type KCFA struct{ K int }
+
+func (s KCFA) Name() string { return fmt.Sprintf("%dcs", s.K) }
+
+func (s KCFA) CalleeContext(t *ContextTable, callerCtx *Context, inv *lang.Invoke, _ *lang.Method, _ *CSObj) *Context {
+	return t.Push(callerCtx, inv, s.K)
+}
+
+func (s KCFA) HeapContext(t *ContextTable, allocCtx *Context, _ *Obj) *Context {
+	return t.Truncate(allocCtx, s.K-1)
+}
+
+// KObj is k-object sensitivity: the context of a callee is the receiver
+// object plus the k-1 allocator objects that lead to it; static calls
+// inherit the caller's context. Heap contexts keep k-1 elements.
+type KObj struct{ K int }
+
+func (s KObj) Name() string { return fmt.Sprintf("%dobj", s.K) }
+
+func (s KObj) CalleeContext(t *ContextTable, callerCtx *Context, _ *lang.Invoke, _ *lang.Method, recv *CSObj) *Context {
+	if recv == nil {
+		return callerCtx
+	}
+	return t.Push(recv.Ctx, recv.Obj, s.K)
+}
+
+func (s KObj) HeapContext(t *ContextTable, allocCtx *Context, _ *Obj) *Context {
+	return t.Truncate(allocCtx, s.K-1)
+}
+
+// KType is k-type sensitivity: like k-object sensitivity, but every
+// object context element is replaced by the class that contains the
+// object's allocation site (Smaragdakis et al., the paper's [39]).
+type KType struct{ K int }
+
+func (s KType) Name() string { return fmt.Sprintf("%dtype", s.K) }
+
+// typeElem is the class containing the allocation site of obj's
+// representative. For a merged object this uses the representative site,
+// which is exactly the §3.6.1 rule for M-ktype (and what Example 3.2
+// shows can cut either way for precision).
+func typeElem(obj *Obj) *lang.Class { return obj.Rep.Method.Owner }
+
+func (s KType) CalleeContext(t *ContextTable, callerCtx *Context, _ *lang.Invoke, _ *lang.Method, recv *CSObj) *Context {
+	if recv == nil {
+		return callerCtx
+	}
+	return t.Push(recv.Ctx, typeElem(recv.Obj), s.K)
+}
+
+func (s KType) HeapContext(t *ContextTable, allocCtx *Context, _ *Obj) *Context {
+	return t.Truncate(allocCtx, s.K-1)
+}

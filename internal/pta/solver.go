@@ -1,0 +1,555 @@
+package pta
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mahjong/internal/bitset"
+	"mahjong/internal/lang"
+)
+
+// CSObj is a context-sensitive abstract object: an abstract object plus
+// the heap context it was allocated under. CSObjs are interned; their
+// IDs index points-to bit sets.
+type CSObj struct {
+	ID  int
+	Ctx *Context
+	Obj *Obj
+}
+
+func (o *CSObj) String() string {
+	if o.Ctx.Depth() == 0 {
+		return o.Obj.String()
+	}
+	return o.Ctx.String() + ":" + o.Obj.String()
+}
+
+// Budget bounds an analysis run. Work is a deterministic propagation
+// counter (points-to facts processed); Time is an optional wall-clock
+// cap. A zero field means unlimited.
+type Budget struct {
+	Work int64
+	Time time.Duration
+}
+
+// ErrBudget is reported (wrapped) when a run exceeds its Budget.
+var ErrBudget = errors.New("pta: budget exhausted")
+
+// Options configures a points-to analysis run.
+type Options struct {
+	Heap     HeapModel // defaults to NewAllocSiteModel()
+	Selector Selector  // defaults to CI{}
+	Budget   Budget
+}
+
+// nodeKind discriminates pointer nodes.
+type nodeKind int8
+
+const (
+	nVar nodeKind = iota
+	nInstField
+	nStaticField
+)
+
+type edge struct {
+	to     int
+	filter *lang.Class // non-nil for cast edges: only subtypes flow
+}
+
+// node is one pointer in the pointer-flow graph.
+type node struct {
+	kind nodeKind
+	pts  bitset.Set
+	succ []edge
+
+	// var-node payload (nil for field nodes)
+	info *varInfo
+}
+
+// varInfo carries the statements that must react when the points-to set
+// of a variable grows: field accesses via the variable and calls
+// dispatched on it.
+type varInfo struct {
+	ctx     *Context
+	v       *lang.Var
+	loads   []*lang.Load
+	stores  []*lang.Store
+	invokes []*lang.Invoke
+}
+
+type varKey struct {
+	ctx *Context
+	v   *lang.Var
+}
+
+type fieldKey struct {
+	obj   int // CSObj ID
+	field *lang.Field
+}
+
+type csMethodKey struct {
+	ctx *Context
+	m   *lang.Method
+}
+
+type callEdgeKey struct {
+	callerCtx *Context
+	inv       *lang.Invoke
+	calleeCtx *Context
+	callee    *lang.Method
+}
+
+// castSite records one reachable cast occurrence (per context) for the
+// may-fail-casting client.
+type castSite struct {
+	stmt    *lang.Cast
+	rhsNode int
+}
+
+// Solver runs the analysis. Create one per run via Solve.
+type solver struct {
+	prog *lang.Program
+	opts Options
+	ctxt *ContextTable
+
+	nodes []*node
+
+	varNodes    map[varKey]int
+	fieldNodes  map[fieldKey]int
+	staticNodes map[*lang.Field]int
+	varIndex    map[*lang.Var][]int // all context variants of a variable
+
+	csobjs    []*CSObj
+	objCtxIdx map[ctxObjKey]int
+
+	reachable  map[csMethodKey]bool
+	reachList  []csMethodKey
+	callEdges  map[callEdgeKey]bool
+	ciEdges    map[*lang.Invoke]map[*lang.Method]bool
+	ciMethods  map[*lang.Method]bool
+	casts      []castSite
+	castSeen   map[castInstKey]bool
+	virtSeen   map[virtKey]bool
+	emptyHeap  *Context
+	work       int64
+	deadline   time.Time
+	hasTimeout bool
+
+	worklist []int
+	queued   []bool
+	pending  []*bitset.Set
+}
+
+type ctxObjKey struct {
+	ctx *Context
+	obj *Obj
+}
+
+type castInstKey struct {
+	ctx  *Context
+	stmt *lang.Cast
+}
+
+type virtKey struct {
+	ctx *Context
+	inv *lang.Invoke
+	obj int // receiver CSObj id
+}
+
+// Result is the outcome of a points-to analysis run.
+type Result struct {
+	Prog     *lang.Program
+	Opts     Options
+	Aborted  bool  // true when the budget ran out (partial result)
+	Work     int64 // propagation work performed
+	Duration time.Duration
+
+	solver *solver
+}
+
+// Solve runs the points-to analysis on prog with the given options.
+// A budget overrun returns a partial Result with Aborted=true and a nil
+// error; hard misconfigurations return an error.
+func Solve(prog *lang.Program, opts Options) (*Result, error) {
+	if prog.Entry == nil {
+		return nil, errors.New("pta: program has no entry method")
+	}
+	if opts.Heap == nil {
+		opts.Heap = NewAllocSiteModel()
+	}
+	if opts.Selector == nil {
+		opts.Selector = CI{}
+	}
+	s := &solver{
+		prog:        prog,
+		opts:        opts,
+		ctxt:        NewContextTable(),
+		varNodes:    make(map[varKey]int),
+		fieldNodes:  make(map[fieldKey]int),
+		staticNodes: make(map[*lang.Field]int),
+		varIndex:    make(map[*lang.Var][]int),
+		objCtxIdx:   make(map[ctxObjKey]int),
+		reachable:   make(map[csMethodKey]bool),
+		callEdges:   make(map[callEdgeKey]bool),
+		ciEdges:     make(map[*lang.Invoke]map[*lang.Method]bool),
+		ciMethods:   make(map[*lang.Method]bool),
+		castSeen:    make(map[castInstKey]bool),
+		virtSeen:    make(map[virtKey]bool),
+	}
+	s.emptyHeap = s.ctxt.Empty()
+	start := time.Now()
+	if opts.Budget.Time > 0 {
+		s.deadline = start.Add(opts.Budget.Time)
+		s.hasTimeout = true
+	}
+	aborted := s.run()
+	return &Result{
+		Prog:     prog,
+		Opts:     opts,
+		Aborted:  aborted,
+		Work:     s.work,
+		Duration: time.Since(start),
+		solver:   s,
+	}, nil
+}
+
+// run executes the worklist loop; returns true when aborted on budget.
+func (s *solver) run() (aborted bool) {
+	defer func() {
+		// chargeWork unwinds deep processing chains via panic when the
+		// budget runs out; anything else is a real bug and is re-raised.
+		if r := recover(); r != nil {
+			if r != errBudgetSentinel {
+				panic(r)
+			}
+			aborted = true
+		}
+	}()
+	s.makeReachable(s.ctxt.Empty(), s.prog.Entry)
+	for len(s.worklist) > 0 {
+		id := s.worklist[0]
+		s.worklist = s.worklist[1:]
+		s.queued[id] = false
+		delta := s.pending[id]
+		s.pending[id] = nil
+		if delta == nil || delta.IsEmpty() {
+			continue
+		}
+		s.chargeWork(int64(delta.Len()))
+		n := s.nodes[id]
+		for _, e := range n.succ {
+			s.addPts(e.to, s.filtered(delta, e.filter))
+		}
+		if n.info != nil {
+			s.processVarDelta(n.info, delta)
+		}
+	}
+	return false
+}
+
+var errBudgetSentinel = new(int)
+
+func (s *solver) chargeWork(units int64) {
+	s.work += units
+	if s.opts.Budget.Work > 0 && s.work > s.opts.Budget.Work {
+		panic(errBudgetSentinel)
+	}
+	if s.hasTimeout && s.work%4096 < units && time.Now().After(s.deadline) {
+		panic(errBudgetSentinel)
+	}
+}
+
+// filtered returns delta restricted to objects whose type is a subtype
+// of filter; a nil filter returns delta unchanged.
+func (s *solver) filtered(delta *bitset.Set, filter *lang.Class) *bitset.Set {
+	if filter == nil {
+		return delta
+	}
+	out := bitset.New(0)
+	delta.ForEach(func(i int) bool {
+		if s.csobjs[i].Obj.Type.SubtypeOf(filter) {
+			out.Add(i)
+		}
+		return true
+	})
+	return out
+}
+
+func (s *solver) newNode(kind nodeKind, info *varInfo) int {
+	id := len(s.nodes)
+	s.nodes = append(s.nodes, &node{kind: kind, info: info})
+	s.queued = append(s.queued, false)
+	s.pending = append(s.pending, nil)
+	return id
+}
+
+func (s *solver) varNode(ctx *Context, v *lang.Var) int {
+	k := varKey{ctx, v}
+	if id, ok := s.varNodes[k]; ok {
+		return id
+	}
+	id := s.newNode(nVar, &varInfo{ctx: ctx, v: v})
+	s.varNodes[k] = id
+	s.varIndex[v] = append(s.varIndex[v], id)
+	return id
+}
+
+func (s *solver) fieldNode(obj int, f *lang.Field) int {
+	k := fieldKey{obj, f}
+	if id, ok := s.fieldNodes[k]; ok {
+		return id
+	}
+	id := s.newNode(nInstField, nil)
+	s.fieldNodes[k] = id
+	return id
+}
+
+func (s *solver) staticNode(f *lang.Field) int {
+	if id, ok := s.staticNodes[f]; ok {
+		return id
+	}
+	id := s.newNode(nStaticField, nil)
+	s.staticNodes[f] = id
+	return id
+}
+
+// csObj interns the (heap context, object) pair.
+func (s *solver) csObj(ctx *Context, o *Obj) int {
+	k := ctxObjKey{ctx, o}
+	if id, ok := s.objCtxIdx[k]; ok {
+		return id
+	}
+	id := len(s.csobjs)
+	s.csobjs = append(s.csobjs, &CSObj{ID: id, Ctx: ctx, Obj: o})
+	s.objCtxIdx[k] = id
+	return id
+}
+
+// addPts merges set into node id's points-to set, queueing the newly
+// added part for propagation.
+func (s *solver) addPts(id int, set *bitset.Set) {
+	if set == nil || set.IsEmpty() {
+		return
+	}
+	n := s.nodes[id]
+	diff := n.pts.UnionDiff(set)
+	if diff == nil {
+		return
+	}
+	if s.pending[id] == nil {
+		s.pending[id] = diff
+	} else {
+		s.pending[id].Union(diff)
+	}
+	if !s.queued[id] {
+		s.queued[id] = true
+		s.worklist = append(s.worklist, id)
+	}
+}
+
+func (s *solver) addPtsOne(id, obj int) {
+	one := bitset.New(obj + 1)
+	one.Add(obj)
+	s.addPts(id, one)
+}
+
+// addEdge inserts a flow edge and replays the source's current
+// points-to set across it. Duplicate edges are suppressed.
+func (s *solver) addEdge(from, to int, filter *lang.Class) {
+	if from == to && filter == nil {
+		return
+	}
+	n := s.nodes[from]
+	for _, e := range n.succ {
+		if e.to == to && e.filter == filter {
+			return
+		}
+	}
+	n.succ = append(n.succ, edge{to: to, filter: filter})
+	if !n.pts.IsEmpty() {
+		s.addPts(to, s.filtered(&n.pts, filter))
+	}
+}
+
+// makeReachable marks (ctx, m) reachable and processes its body once.
+func (s *solver) makeReachable(ctx *Context, m *lang.Method) {
+	k := csMethodKey{ctx, m}
+	if s.reachable[k] {
+		return
+	}
+	if m.IsAbstract {
+		panic(fmt.Sprintf("pta: abstract method %s became reachable", m))
+	}
+	s.reachable[k] = true
+	s.reachList = append(s.reachList, k)
+	s.ciMethods[m] = true
+	s.chargeWork(1)
+	for _, st := range m.Stmts {
+		s.processStmt(ctx, m, st)
+	}
+}
+
+func (s *solver) processStmt(ctx *Context, m *lang.Method, st lang.Stmt) {
+	switch stmt := st.(type) {
+	case *lang.Alloc:
+		obj := s.opts.Heap.Obj(stmt.Site)
+		var hctx *Context
+		if obj.CtxInsensitive {
+			hctx = s.emptyHeap
+		} else {
+			hctx = s.opts.Selector.HeapContext(s.ctxt, ctx, obj)
+		}
+		cs := s.csObj(hctx, obj)
+		s.addPtsOne(s.varNode(ctx, stmt.LHS), cs)
+
+	case *lang.Copy:
+		s.addEdge(s.varNode(ctx, stmt.RHS), s.varNode(ctx, stmt.LHS), nil)
+
+	case *lang.Cast:
+		rhs := s.varNode(ctx, stmt.RHS)
+		s.addEdge(rhs, s.varNode(ctx, stmt.LHS), stmt.Type)
+		ck := castInstKey{ctx, stmt}
+		if !s.castSeen[ck] {
+			s.castSeen[ck] = true
+			s.casts = append(s.casts, castSite{stmt: stmt, rhsNode: rhs})
+		}
+
+	case *lang.Load:
+		base := s.varNode(ctx, stmt.Base)
+		info := s.nodes[base].info
+		info.loads = append(info.loads, stmt)
+		s.replayBase(ctx, base, func(obj int) { s.applyLoad(ctx, obj, stmt) })
+
+	case *lang.Store:
+		base := s.varNode(ctx, stmt.Base)
+		info := s.nodes[base].info
+		info.stores = append(info.stores, stmt)
+		s.replayBase(ctx, base, func(obj int) { s.applyStore(ctx, obj, stmt) })
+
+	case *lang.StaticLoad:
+		s.addEdge(s.staticNode(stmt.Field), s.varNode(ctx, stmt.LHS), nil)
+
+	case *lang.StaticStore:
+		s.addEdge(s.varNode(ctx, stmt.RHS), s.staticNode(stmt.Field), nil)
+
+	case *lang.Invoke:
+		switch stmt.Kind {
+		case lang.StaticCall:
+			calleeCtx := s.opts.Selector.CalleeContext(s.ctxt, ctx, stmt, stmt.Callee, nil)
+			s.addCallEdge(ctx, stmt, calleeCtx, stmt.Callee, -1)
+		default: // virtual and special calls dispatch/bind per receiver object
+			base := s.varNode(ctx, stmt.Base)
+			info := s.nodes[base].info
+			info.invokes = append(info.invokes, stmt)
+			s.replayBase(ctx, base, func(obj int) { s.applyInvoke(ctx, obj, stmt) })
+		}
+
+	case *lang.Return:
+		if stmt.Value != nil && m.RetVar != nil {
+			s.addEdge(s.varNode(ctx, stmt.Value), s.varNode(ctx, m.RetVar), nil)
+		}
+
+	case *lang.Throw:
+		s.addEdge(s.varNode(ctx, stmt.Value), s.varNode(ctx, m.ExcVar()), nil)
+
+	case *lang.Catch:
+		s.addEdge(s.varNode(ctx, m.ExcVar()), s.varNode(ctx, stmt.LHS), stmt.Type)
+
+	default:
+		panic(fmt.Sprintf("pta: unknown statement %T", st))
+	}
+}
+
+// replayBase applies fn to every object already in base's points-to set;
+// future objects are handled by processVarDelta.
+func (s *solver) replayBase(_ *Context, base int, fn func(obj int)) {
+	pts := &s.nodes[base].pts
+	if pts.IsEmpty() {
+		return
+	}
+	pts.ForEach(func(i int) bool {
+		fn(i)
+		return true
+	})
+}
+
+// processVarDelta reacts to growth of a variable's points-to set.
+func (s *solver) processVarDelta(info *varInfo, delta *bitset.Set) {
+	ctx := info.ctx
+	delta.ForEach(func(obj int) bool {
+		for _, ld := range info.loads {
+			s.applyLoad(ctx, obj, ld)
+		}
+		for _, st := range info.stores {
+			s.applyStore(ctx, obj, st)
+		}
+		for _, inv := range info.invokes {
+			s.applyInvoke(ctx, obj, inv)
+		}
+		return true
+	})
+}
+
+func (s *solver) applyLoad(ctx *Context, obj int, ld *lang.Load) {
+	s.addEdge(s.fieldNode(obj, ld.Field), s.varNode(ctx, ld.LHS), nil)
+}
+
+func (s *solver) applyStore(ctx *Context, obj int, st *lang.Store) {
+	s.addEdge(s.varNode(ctx, st.RHS), s.fieldNode(obj, st.Field), nil)
+}
+
+func (s *solver) applyInvoke(ctx *Context, obj int, inv *lang.Invoke) {
+	vk := virtKey{ctx, inv, obj}
+	if s.virtSeen[vk] {
+		return
+	}
+	s.virtSeen[vk] = true
+	recv := s.csobjs[obj]
+	var callee *lang.Method
+	if inv.Kind == lang.SpecialCall {
+		callee = inv.Callee
+	} else {
+		callee = recv.Obj.Type.Dispatch(inv.Callee.Sig())
+		if callee == nil {
+			// No implementation for this runtime type (e.g. an object of an
+			// unrelated type flowed here imprecisely); skip, as a JVM would
+			// never reach this state.
+			return
+		}
+	}
+	calleeCtx := s.opts.Selector.CalleeContext(s.ctxt, ctx, inv, callee, recv)
+	s.addCallEdge(ctx, inv, calleeCtx, callee, obj)
+}
+
+// addCallEdge links a (caller, call-site) to a (calleeCtx, callee):
+// binds the receiver, wires argument/return edges once per edge, and
+// makes the callee reachable.
+func (s *solver) addCallEdge(callerCtx *Context, inv *lang.Invoke, calleeCtx *Context, callee *lang.Method, recvObj int) {
+	s.makeReachable(calleeCtx, callee)
+	if recvObj >= 0 && callee.This != nil {
+		s.addPtsOne(s.varNode(calleeCtx, callee.This), recvObj)
+	}
+	k := callEdgeKey{callerCtx, inv, calleeCtx, callee}
+	if s.callEdges[k] {
+		return
+	}
+	s.callEdges[k] = true
+	tgts := s.ciEdges[inv]
+	if tgts == nil {
+		tgts = make(map[*lang.Method]bool)
+		s.ciEdges[inv] = tgts
+	}
+	tgts[callee] = true
+	for i, a := range inv.Args {
+		s.addEdge(s.varNode(callerCtx, a), s.varNode(calleeCtx, callee.Params[i]), nil)
+	}
+	if inv.LHS != nil && callee.RetVar != nil {
+		s.addEdge(s.varNode(calleeCtx, callee.RetVar), s.varNode(callerCtx, inv.LHS), nil)
+	}
+	// Exceptions escaping the callee may escape the caller too. The edge
+	// is added unconditionally: the callee's $exc may only be populated
+	// later (e.g. by a throw in one of its own callees), and an edge
+	// over still-empty sets costs nothing.
+	s.addEdge(s.varNode(calleeCtx, callee.ExcVar()), s.varNode(callerCtx, inv.In.ExcVar()), nil)
+}

@@ -1,0 +1,65 @@
+package synth
+
+import "mahjong/internal/lang"
+
+// Figure1 is the paper's motivating example as a ready-made program,
+// with the interesting statements exposed for examples and tests.
+type Figure1 struct {
+	Prog    *lang.Program
+	A, B, C *lang.Class
+	// Sites holds o1..o6 in the paper's order: three A allocations, one
+	// B stored in x.f, two Cs stored in y.f and z.f.
+	Sites []*lang.AllocSite
+	// Call is the virtual call `a.foo()` (line 8); Cast is `c = (C) a`
+	// (line 9); VarA is the variable `a`.
+	Call *lang.Invoke
+	Cast *lang.Cast
+	VarA *lang.Var
+}
+
+// NewFigure1 builds the Figure 1 program.
+func NewFigure1() *Figure1 {
+	p := lang.NewProgram()
+	a := p.NewClass("A", nil)
+	f := a.NewField("f", a)
+	a.NewMethod("foo", false, nil, nil).AddReturn(nil)
+	b := p.NewClass("B", a)
+	b.NewMethod("foo", false, nil, nil).AddReturn(nil)
+	c := p.NewClass("C", a)
+	c.NewMethod("foo", false, nil, nil).AddReturn(nil)
+
+	mainCls := p.NewClass("Main", nil)
+	m := mainCls.NewMethod("main", true, nil, nil)
+	x := m.NewVar("x", a)
+	y := m.NewVar("y", a)
+	z := m.NewVar("z", a)
+	va := m.NewVar("a", a)
+	vc := m.NewVar("c", c)
+	t4 := m.NewVar("t4", a)
+	t5 := m.NewVar("t5", a)
+	t6 := m.NewVar("t6", a)
+
+	fig := &Figure1{Prog: p, A: a, B: b, C: c, VarA: va}
+	fig.Sites = append(fig.Sites,
+		m.AddAlloc(x, a), m.AddAlloc(y, a), m.AddAlloc(z, a))
+	fig.Sites = append(fig.Sites, m.AddAlloc(t4, b))
+	m.AddStore(x, f, t4)
+	fig.Sites = append(fig.Sites, m.AddAlloc(t5, c))
+	m.AddStore(y, f, t5)
+	fig.Sites = append(fig.Sites, m.AddAlloc(t6, c))
+	m.AddStore(z, f, t6)
+	m.AddLoad(va, z, f)
+	fig.Call = m.AddVirtualCall(nil, va, "foo")
+	m.AddCast(vc, c, va)
+	for _, st := range m.Stmts {
+		if cs, ok := st.(*lang.Cast); ok {
+			fig.Cast = cs
+		}
+	}
+	m.AddReturn(nil)
+	p.SetEntry(m)
+	if err := p.Validate(); err != nil {
+		panic("synth: Figure1 invalid: " + err.Error())
+	}
+	return fig
+}

@@ -1,0 +1,488 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mahjong/internal/lang"
+)
+
+// Generate builds the benchmark program for a profile. Generation is
+// fully deterministic in the profile (including its seed).
+func Generate(p Profile) (*lang.Program, error) {
+	g := &generator{
+		rt:  NewRuntime(),
+		rng: rand.New(rand.NewSource(p.Seed)),
+		p:   p,
+	}
+	g.prog = g.rt.Prog
+	g.build()
+	if err := g.prog.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: generated %s invalid: %w", p.Name, err)
+	}
+	return g.prog, nil
+}
+
+// MustGenerate is Generate for tests and benchmarks.
+func MustGenerate(p Profile) *lang.Program {
+	prog, err := Generate(p)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type module struct {
+	index int
+	base  *lang.Class   // abstract visitor base
+	types []*lang.Class // leaf types (extend base)
+	entry *lang.Method  // static Module.run()
+}
+
+type generator struct {
+	rt   *Runtime
+	prog *lang.Program
+	rng  *rand.Rand
+	p    Profile
+
+	modules []*module
+}
+
+func (g *generator) build() {
+	for i := 0; i < g.p.Modules; i++ {
+		g.modules = append(g.modules, g.buildModuleTypes(i))
+	}
+	for _, m := range g.modules {
+		g.buildModuleBody(m)
+	}
+	g.buildMain()
+}
+
+// buildModuleTypes creates the module's class hierarchy: an abstract
+// base with a virtual visit() and leaf types overriding it. Some leaves
+// carry a field of another leaf type of the same module (set during
+// construction), some a field that remains null.
+func (g *generator) buildModuleTypes(idx int) *module {
+	m := &module{index: idx}
+	name := func(s string) string { return fmt.Sprintf("app.m%d.%s", idx, s) }
+	m.base = g.prog.NewClass(name("Base"), nil)
+	m.base.NewAbstractMethod("visit", nil, g.rt.String)
+	for i := 0; i < g.p.TypesPerModule; i++ {
+		leaf := g.prog.NewClass(name(fmt.Sprintf("T%d", i)), m.base)
+		m.types = append(m.types, leaf)
+	}
+	// Fields: roughly half of the leaves get a link to another leaf,
+	// some get a String label, some a field left null.
+	for i, leaf := range m.types {
+		if i%2 == 0 && len(m.types) > 1 {
+			leaf.NewField("link", m.types[(i+1)%len(m.types)])
+		}
+		if i%3 == 0 {
+			leaf.NewField("label", g.rt.String)
+		}
+	}
+	// visit() bodies: return a fresh String; leaves with a link also
+	// call visit() on it (recursive dispatch, keeps call graph busy).
+	for i, leaf := range m.types {
+		v := leaf.NewMethod("visit", false, nil, g.rt.String)
+		s := v.NewVar("s", g.rt.String)
+		v.AddStaticCall(s, g.rt.MkString)
+		if link := leaf.Field("link"); link != nil && link.Owner == leaf {
+			lk := v.NewVar("lk", link.Type)
+			s2 := v.NewVar("s2", g.rt.String)
+			v.AddLoad(lk, v.This, link)
+			v.AddVirtualCall(s2, lk, "visit")
+			v.AddReturn(s2)
+		}
+		if i%3 == 0 {
+			lbl := v.NewVar("lbl", g.rt.String)
+			v.AddLoad(lbl, v.This, leaf.Field("label"))
+			v.AddReturn(lbl)
+		}
+		v.AddReturn(s)
+	}
+	return m
+}
+
+// buildModuleBody emits the module's behavior: builders, typed
+// containers, maps, wrapper chains, static caches, null-field objects,
+// and the module entry that invokes all of it.
+func (g *generator) buildModuleBody(m *module) {
+	util := g.prog.NewClass(fmt.Sprintf("app.m%d.Util", m.index), nil)
+	entry := util.NewMethod("run", true, nil, nil)
+	m.entry = entry
+
+	var helpers []*lang.Method
+	for i := 0; i < g.p.BuildersPerModule; i++ {
+		helpers = append(helpers, g.buildBuilderHelper(util, i))
+	}
+	for i := 0; i < g.p.ListsPerModule; i++ {
+		helpers = append(helpers, g.buildListGroup(m, util, i))
+	}
+	for i := 0; i < g.p.MapsPerModule; i++ {
+		helpers = append(helpers, g.buildMapGroup(m, util, i))
+	}
+	for i := 0; i < g.p.ChainsPerModule; i++ {
+		helpers = append(helpers, g.buildChainGroup(m, util, i))
+	}
+	for i := 0; i < g.p.Statics; i++ {
+		helpers = append(helpers, g.buildStaticCache(m, util, i))
+	}
+	helpers = append(helpers, g.buildNullLeaves(m, util))
+	helpers = append(helpers, g.buildPolySite(m, util))
+	if g.p.RendersPerModule > 0 {
+		helpers = append(helpers, g.buildRenderPattern(m, util))
+	}
+
+	for _, h := range helpers {
+		entry.AddStaticCall(nil, h)
+	}
+	entry.AddReturn(nil)
+}
+
+// allocString emits an inline `new String` with its backing char[]
+// (three statements, two allocation sites), as javac does for string
+// expressions. Inline sites are what Mahjong merges: they are all
+// mutually type-consistent (Table 1 rows 1–2 shapes).
+func (g *generator) allocString(h *lang.Method, name string) *lang.Var {
+	s := h.NewVar(name, g.rt.String)
+	cs := h.NewVar(name+"$cs", g.rt.CharArray)
+	h.AddAlloc(s, g.rt.String)
+	h.AddAlloc(cs, g.rt.CharArray)
+	h.AddStore(s, g.rt.StringValue, cs)
+	return s
+}
+
+// allocBuilder emits an inline `new StringBuilder` with its buffer.
+func (g *generator) allocBuilder(h *lang.Method, name string) *lang.Var {
+	b := h.NewVar(name, g.rt.Builder)
+	cs := h.NewVar(name+"$cs", g.rt.CharArray)
+	h.AddAlloc(b, g.rt.Builder)
+	h.AddAlloc(cs, g.rt.CharArray)
+	h.AddStore(b, g.rt.BuilderValue, cs)
+	return b
+}
+
+// buildBuilderHelper emits the ubiquitous string-building pattern:
+//
+//	b = new StringBuilder; s = new String;
+//	b = b.append(s); r = b.toString()
+//
+// Every helper contributes its own type-consistent StringBuilder/
+// String/char[] allocation sites, reproducing the heap
+// over-partitioning that Mahjong collapses (Table 1 row 1: 1303
+// StringBuilder objects in one equivalence class).
+func (g *generator) buildBuilderHelper(util *lang.Class, i int) *lang.Method {
+	h := util.NewMethod(fmt.Sprintf("buildText%d", i), true, nil, g.rt.String)
+	b := g.allocBuilder(h, "b")
+	s := g.allocString(h, "s")
+	r := h.NewVar("r", g.rt.String)
+	nApp := 1 + g.rng.Intn(3)
+	for k := 0; k < nApp; k++ {
+		h.AddVirtualCall(b, b, "append", s)
+	}
+	h.AddVirtualCall(r, b, "toString")
+	return h
+}
+
+// buildListGroup emits a typed container group: an ArrayList filled
+// with one leaf type, read back through get() and the iterator, then
+// cast and dispatched. Different groups use different leaf types, so
+// their ArrayList/Object[] objects are NOT type-consistent with each
+// other: Mahjong keeps them apart where alloc-type merges them.
+func (g *generator) buildListGroup(m *module, util *lang.Class, i int) *lang.Method {
+	leaf := m.types[i%len(m.types)]
+	h := util.NewMethod(fmt.Sprintf("listGroup%d", i), true, nil, nil)
+	lst := h.NewVar("lst", g.rt.ArrayList)
+	h.AddAlloc(lst, g.rt.ArrayList)
+	h.AddVirtualCall(nil, lst, "init")
+	nItems := 2 + g.rng.Intn(3)
+	for k := 0; k < nItems; k++ {
+		it := h.NewVar(fmt.Sprintf("it%d", k), leaf)
+		h.AddAlloc(it, leaf)
+		if lbl := leaf.Field("label"); lbl != nil {
+			sv := g.allocString(h, fmt.Sprintf("sv%d", k))
+			h.AddStore(it, lbl, sv)
+		}
+		h.AddVirtualCall(nil, lst, "add", it)
+	}
+	raw := h.NewVar("raw", g.prog.Object())
+	typed := h.NewVar("typed", leaf)
+	out := h.NewVar("out", g.rt.String)
+	h.AddVirtualCall(raw, lst, "get")
+	h.AddCast(typed, leaf, raw) // may-fail under coarse abstractions
+	h.AddVirtualCall(out, typed, "visit")
+
+	// Iterator path.
+	iter := h.NewVar("iter", g.rt.Iterator)
+	raw2 := h.NewVar("raw2", g.prog.Object())
+	typed2 := h.NewVar("typed2", m.base)
+	h.AddVirtualCall(iter, lst, "iterator")
+	h.AddVirtualCall(raw2, iter, "next")
+	h.AddCast(typed2, m.base, raw2)
+	h.AddVirtualCall(nil, typed2, "visit")
+	h.AddReturn(nil)
+	return h
+}
+
+// buildMapGroup emits a HashMap keyed by String holding one leaf type.
+func (g *generator) buildMapGroup(m *module, util *lang.Class, i int) *lang.Method {
+	leaf := m.types[(i*2+1)%len(m.types)]
+	h := util.NewMethod(fmt.Sprintf("mapGroup%d", i), true, nil, nil)
+	mp := h.NewVar("mp", g.rt.HashMap)
+	h.AddAlloc(mp, g.rt.HashMap)
+	h.AddVirtualCall(nil, mp, "init")
+	n := 1 + g.rng.Intn(2)
+	for k := 0; k < n; k++ {
+		key := h.NewVar(fmt.Sprintf("key%d", k), g.rt.String)
+		val := h.NewVar(fmt.Sprintf("val%d", k), leaf)
+		h.AddStaticCall(key, g.rt.MkString)
+		h.AddAlloc(val, leaf)
+		h.AddVirtualCall(nil, mp, "put", key, val)
+	}
+	probe := h.NewVar("probe", g.rt.String)
+	raw := h.NewVar("raw", g.prog.Object())
+	typed := h.NewVar("typed", leaf)
+	h.AddStaticCall(probe, g.rt.MkString)
+	h.AddVirtualCall(raw, mp, "get", probe)
+	h.AddCast(typed, leaf, raw)
+	h.AddVirtualCall(nil, typed, "visit")
+	h.AddReturn(nil)
+	return h
+}
+
+// buildChainGroup emits a wrapper chain wrap0(wrap1(…(v))) through
+// Object-typed parameters, called with two different leaf types, each
+// result cast back and dispatched. Deeper chains need deeper contexts.
+func (g *generator) buildChainGroup(m *module, util *lang.Class, i int) *lang.Method {
+	obj := g.prog.Object()
+	depth := g.p.ChainDepth
+	chain := make([]*lang.Method, depth)
+	for d := depth - 1; d >= 0; d-- {
+		w := util.NewMethod(fmt.Sprintf("chain%dw%d", i, d), true, []*lang.Class{obj}, obj)
+		if d == depth-1 {
+			w.AddReturn(w.Params[0])
+		} else {
+			r := w.NewVar("r", obj)
+			w.AddStaticCall(r, chain[d+1], w.Params[0])
+			w.AddReturn(r)
+		}
+		chain[d] = w
+	}
+	h := util.NewMethod(fmt.Sprintf("chainGroup%d", i), true, nil, nil)
+	tA := m.types[(2*i)%len(m.types)]
+	tB := m.types[(2*i+1)%len(m.types)]
+	for j, leaf := range []*lang.Class{tA, tB} {
+		v := h.NewVar(fmt.Sprintf("v%d", j), leaf)
+		r := h.NewVar(fmt.Sprintf("r%d", j), obj)
+		c := h.NewVar(fmt.Sprintf("c%d", j), leaf)
+		h.AddAlloc(v, leaf)
+		h.AddStaticCall(r, chain[0], v)
+		h.AddCast(c, leaf, r)
+		h.AddVirtualCall(nil, c, "visit")
+	}
+	h.AddReturn(nil)
+	return h
+}
+
+// buildStaticCache stores a container in a static field and reads it
+// back elsewhere, creating whole-program flow that stresses ci.
+func (g *generator) buildStaticCache(m *module, util *lang.Class, i int) *lang.Method {
+	leaf := m.types[(i*3)%len(m.types)]
+	cache := util.NewStaticField(fmt.Sprintf("CACHE%d", i), g.rt.ArrayList)
+	h := util.NewMethod(fmt.Sprintf("staticGroup%d", i), true, nil, nil)
+	lst := h.NewVar("lst", g.rt.ArrayList)
+	it := h.NewVar("it", leaf)
+	h.AddAlloc(lst, g.rt.ArrayList)
+	h.AddVirtualCall(nil, lst, "init")
+	h.AddAlloc(it, leaf)
+	h.AddVirtualCall(nil, lst, "add", it)
+	h.AddStaticStore(cache, lst)
+	lst2 := h.NewVar("lst2", g.rt.ArrayList)
+	raw := h.NewVar("raw", g.prog.Object())
+	typed := h.NewVar("typed", leaf)
+	h.AddStaticLoad(lst2, cache)
+	h.AddVirtualCall(raw, lst2, "get")
+	h.AddCast(typed, leaf, raw)
+	h.AddVirtualCall(nil, typed, "visit")
+	h.AddReturn(nil)
+	return h
+}
+
+// buildNullLeaves allocates leaf objects whose link/label fields are
+// never written (the Table 1 "null" distinction and Example 3.1).
+func (g *generator) buildNullLeaves(m *module, util *lang.Class) *lang.Method {
+	h := util.NewMethod("nullLeaves", true, nil, nil)
+	for i := 0; i < g.p.NullFieldsPerModule; i++ {
+		leaf := m.types[i%len(m.types)]
+		v := h.NewVar(fmt.Sprintf("v%d", i), leaf)
+		h.AddAlloc(v, leaf)
+		h.AddVirtualCall(nil, v, "visit")
+	}
+	h.AddReturn(nil)
+	return h
+}
+
+// buildPolySite emits one genuinely polymorphic call: an Object[] mixing
+// two leaf types dispatched through the module base.
+func (g *generator) buildPolySite(m *module, util *lang.Class) *lang.Method {
+	h := util.NewMethod("polySite", true, nil, nil)
+	arr := h.NewVar("arr", g.rt.ObjArray)
+	elem := g.rt.ObjArray.Field(lang.ElemField)
+	h.AddAlloc(arr, g.rt.ObjArray)
+	for j := 0; j < 2 && j < len(m.types); j++ {
+		v := h.NewVar(fmt.Sprintf("v%d", j), m.types[j])
+		h.AddAlloc(v, m.types[j])
+		h.AddStore(arr, elem, v)
+	}
+	raw := h.NewVar("raw", g.prog.Object())
+	typed := h.NewVar("typed", m.base)
+	h.AddLoad(raw, arr, elem)
+	h.AddCast(typed, m.base, raw)
+	h.AddVirtualCall(nil, typed, "visit") // irreducibly poly
+	h.AddReturn(nil)
+	return h
+}
+
+// buildRenderPattern emits the document-rendering workload that drives
+// deep object-sensitive contexts. The receiver chain is
+//
+//	driver → Document.render() → Section.layout() → Paragraph.format()
+//
+// with Sections allocated inside render (their heap context carries the
+// document) and Paragraphs allocated inside layout (their heap context
+// carries the document only when k-1 ≥ 2). The heavy statement load
+// sits in format(), so its cost multiplies by the number of Document
+// allocation sites exactly when k ≥ 3:
+//
+//	2obj: format runs under [section, paragraph] contexts — independent
+//	      of the documents;
+//	3obj: format runs under [document, section, paragraph] contexts —
+//	      once per document site.
+//
+// All documents/sections/paragraphs are type-consistent (they hold the
+// same String structure), so Mahjong merges them and M-3obj analyzes
+// the chain under a single context — unless DiverseDocs is set, in
+// which case every document site stores a per-site content class that
+// is threaded down the chain, type-consistency fails at every level,
+// and even M-3obj pays the full cost (the paper's eclipse/findbugs/JPC
+// story).
+func (g *generator) buildRenderPattern(m *module, util *lang.Class) *lang.Method {
+	name := func(s string) string { return fmt.Sprintf("app.m%d.%s", m.index, s) }
+	obj := g.prog.Object()
+	doc := g.prog.NewClass(name("Document"), nil)
+	title := doc.NewField("title", g.rt.String)
+	sec := g.prog.NewClass(name("Section"), nil)
+	stitle := sec.NewField("title", g.rt.String)
+	para := g.prog.NewClass(name("Paragraph"), nil)
+	ptext := para.NewField("text", g.rt.String)
+	pcache := para.NewField("cache", g.rt.String)
+	var dContent, sContent, pContent *lang.Field
+	if g.p.DiverseDocs {
+		dContent = doc.NewField("content", obj)
+		sContent = sec.NewField("content", obj)
+		pContent = para.NewField("content", obj)
+	}
+
+	// A static leaf helper called from format(): static callees inherit
+	// the caller's object-sensitive context, so each context-sensitive
+	// copy of format() drags a copy of the helper along.
+	leafHelp := util.NewMethod("renderLeaf", true, []*lang.Class{g.rt.String}, g.rt.String)
+	{
+		a := g.allocString(leafHelp, "a")
+		r := leafHelp.NewVar("r", g.rt.String)
+		leafHelp.AddVirtualCall(r, leafHelp.Params[0], "concat", a)
+		leafHelp.AddReturn(r)
+	}
+
+	// Paragraph.format(): the heavy leaf of the chain.
+	format := para.NewMethod("format", false, nil, g.rt.String)
+	{
+		tx := format.NewVar("tx", g.rt.String)
+		format.AddLoad(tx, format.This, ptext)
+		prev := tx
+		for i := 0; i < 5; i++ {
+			s := g.allocString(format, fmt.Sprintf("s%d", i))
+			cat := format.NewVar(fmt.Sprintf("cat%d", i), g.rt.String)
+			format.AddVirtualCall(cat, prev, "concat", s)
+			lf := format.NewVar(fmt.Sprintf("lf%d", i), g.rt.String)
+			format.AddStaticCall(lf, leafHelp, cat)
+			format.AddStore(format.This, pcache, lf)
+			prev = lf
+		}
+		back := format.NewVar("back", g.rt.String)
+		format.AddLoad(back, format.This, pcache)
+		format.AddReturn(back)
+	}
+
+	// Section.layout(): allocates paragraphs (their heap context is the
+	// section's context truncated to k-1) and formats them. Kept light:
+	// at k = 2 this level is the deepest one multiplied by documents.
+	layout := sec.NewMethod("layout", false, nil, g.rt.String)
+	{
+		out := layout.NewVar("out", g.rt.String)
+		t := layout.NewVar("t", g.rt.String)
+		layout.AddLoad(t, layout.This, stitle)
+		for i := 0; i < g.p.ParasPerDoc; i++ {
+			pv := layout.NewVar(fmt.Sprintf("p%d", i), para)
+			layout.AddAlloc(pv, para)
+			layout.AddStore(pv, ptext, t)
+			if g.p.DiverseDocs {
+				cv := layout.NewVar(fmt.Sprintf("cv%d", i), obj)
+				layout.AddLoad(cv, layout.This, sContent)
+				layout.AddStore(pv, pContent, cv)
+			}
+			layout.AddVirtualCall(out, pv, "format")
+		}
+		layout.AddReturn(out)
+	}
+
+	// Document.render(): allocates sections and lays them out. Light.
+	render := doc.NewMethod("render", false, nil, g.rt.String)
+	{
+		out := render.NewVar("out", g.rt.String)
+		t := render.NewVar("t", g.rt.String)
+		render.AddLoad(t, render.This, title)
+		for i := 0; i < 2; i++ {
+			sv := render.NewVar(fmt.Sprintf("sec%d", i), sec)
+			render.AddAlloc(sv, sec)
+			render.AddStore(sv, stitle, t)
+			if g.p.DiverseDocs {
+				cv := render.NewVar(fmt.Sprintf("cv%d", i), obj)
+				render.AddLoad(cv, render.This, dContent)
+				render.AddStore(sv, sContent, cv)
+			}
+			render.AddVirtualCall(out, sv, "layout")
+		}
+		render.AddReturn(out)
+	}
+
+	// The driver: RendersPerModule straight-line Document sites.
+	h := util.NewMethod("renderAll", true, nil, nil)
+	for i := 0; i < g.p.RendersPerModule; i++ {
+		d := h.NewVar(fmt.Sprintf("d%d", i), doc)
+		s := g.allocString(h, fmt.Sprintf("s%d", i))
+		r := h.NewVar(fmt.Sprintf("r%d", i), g.rt.String)
+		h.AddAlloc(d, doc)
+		h.AddStore(d, title, s)
+		if g.p.DiverseDocs {
+			cc := g.prog.NewClass(name(fmt.Sprintf("Content%d", i)), nil)
+			cv := h.NewVar(fmt.Sprintf("c%d", i), cc)
+			h.AddAlloc(cv, cc)
+			h.AddStore(d, dContent, cv)
+		}
+		h.AddVirtualCall(r, d, "render")
+	}
+	h.AddReturn(nil)
+	return h
+}
+
+func (g *generator) buildMain() {
+	mainCls := g.prog.NewClass("app.Main", nil)
+	m := mainCls.NewMethod("main", true, nil, nil)
+	for _, mod := range g.modules {
+		m.AddStaticCall(nil, mod.entry)
+	}
+	m.AddReturn(nil)
+	g.prog.SetEntry(m)
+}

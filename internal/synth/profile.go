@@ -1,0 +1,103 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Profile parameterizes one generated benchmark program. Field values
+// control the number of allocation sites of each heap shape, so they
+// directly set the size axes reported in §6.1.1 (#objects, #types,
+// #fields) and the difficulty axes of Table 2.
+type Profile struct {
+	Name string
+	Seed int64
+
+	// Modules is the number of application modules ("packages").
+	Modules int
+	// TypesPerModule is the number of leaf data types per module; each
+	// participates in a dispatch hierarchy below its module base class.
+	TypesPerModule int
+	// BuildersPerModule is the number of string-building helpers per
+	// module; each contributes several mutually type-consistent
+	// String/StringBuilder/char[] allocation sites.
+	BuildersPerModule int
+	// ListsPerModule is the number of typed container groups; each group
+	// allocates an ArrayList, fills it with one leaf type, and reads it
+	// back through a cast plus a virtual call.
+	ListsPerModule int
+	// MapsPerModule is the number of HashMap usage groups.
+	MapsPerModule int
+	// ChainDepth is the length of wrapper call chains (what context
+	// sensitivity must see through).
+	ChainDepth int
+	// ChainsPerModule is the number of such chains.
+	ChainsPerModule int
+	// Statics is the number of static-field caches per module.
+	Statics int
+	// NullFieldsPerModule adds leaf objects whose fields stay null.
+	NullFieldsPerModule int
+
+	// RendersPerModule is the number of Document allocation sites in the
+	// render pattern: Document.render() → Paragraph.format() →
+	// StringBuilder work, a three-level receiver chain. Under k-object
+	// sensitivity the analysis cost multiplies by the number of Document
+	// sites once k ≥ 3, which is what makes baseline 3obj blow up while
+	// M-3obj, having merged the type-consistent documents, does not.
+	RendersPerModule int
+	// ParasPerDoc is the number of Paragraph sites per Document.render.
+	ParasPerDoc int
+	// DiverseDocs gives every Document site a content field holding a
+	// per-site class, making documents pairwise type-INconsistent:
+	// Mahjong cannot merge them, so even M-3obj stays expensive. Used
+	// for the three programs the paper reports unscalable under M-3obj.
+	DiverseDocs bool
+}
+
+// Profiles returns the 12 benchmark profiles, named after the paper's
+// subjects, ordered as in Table 2. Sizes scale roughly with the real
+// programs' relative sizes (eclipse largest, luindex smallest) while
+// staying laptop-friendly.
+func Profiles() []Profile {
+	base := []Profile{
+		// Mid tier: baseline 3obj exceeds the budget, M-3obj does not.
+		{Name: "checkstyle", Seed: 101, Modules: 8, TypesPerModule: 9, BuildersPerModule: 60, ListsPerModule: 8, MapsPerModule: 3, ChainDepth: 4, ChainsPerModule: 3, Statics: 2, NullFieldsPerModule: 2, RendersPerModule: 70, ParasPerDoc: 3},
+		{Name: "bloat", Seed: 105, Modules: 7, TypesPerModule: 8, BuildersPerModule: 45, ListsPerModule: 7, MapsPerModule: 3, ChainDepth: 5, ChainsPerModule: 3, Statics: 2, NullFieldsPerModule: 1, RendersPerModule: 90, ParasPerDoc: 3},
+		{Name: "chart", Seed: 106, Modules: 8, TypesPerModule: 9, BuildersPerModule: 55, ListsPerModule: 8, MapsPerModule: 3, ChainDepth: 4, ChainsPerModule: 3, Statics: 2, NullFieldsPerModule: 2, RendersPerModule: 65, ParasPerDoc: 3},
+		{Name: "pmd", Seed: 111, Modules: 8, TypesPerModule: 8, BuildersPerModule: 50, ListsPerModule: 8, MapsPerModule: 3, ChainDepth: 5, ChainsPerModule: 3, Statics: 2, NullFieldsPerModule: 2, RendersPerModule: 75, ParasPerDoc: 3},
+		{Name: "xalan", Seed: 112, Modules: 8, TypesPerModule: 8, BuildersPerModule: 45, ListsPerModule: 7, MapsPerModule: 3, ChainDepth: 4, ChainsPerModule: 3, Statics: 2, NullFieldsPerModule: 1, RendersPerModule: 85, ParasPerDoc: 3},
+		// Big three: DiverseDocs defeats merging of documents, so even
+		// M-3obj exceeds the budget (paper: eclipse, findbugs, JPC remain
+		// unscalable under M-3obj).
+		{Name: "eclipse", Seed: 107, Modules: 12, TypesPerModule: 10, BuildersPerModule: 65, ListsPerModule: 9, MapsPerModule: 4, ChainDepth: 5, ChainsPerModule: 4, Statics: 3, NullFieldsPerModule: 2, RendersPerModule: 70, ParasPerDoc: 3, DiverseDocs: true},
+		{Name: "findbugs", Seed: 102, Modules: 9, TypesPerModule: 8, BuildersPerModule: 55, ListsPerModule: 8, MapsPerModule: 4, ChainDepth: 4, ChainsPerModule: 3, Statics: 3, NullFieldsPerModule: 2, RendersPerModule: 100, ParasPerDoc: 4, DiverseDocs: true},
+		{Name: "JPC", Seed: 103, Modules: 9, TypesPerModule: 7, BuildersPerModule: 50, ListsPerModule: 7, MapsPerModule: 3, ChainDepth: 5, ChainsPerModule: 3, Statics: 2, NullFieldsPerModule: 1, RendersPerModule: 100, ParasPerDoc: 4, DiverseDocs: true},
+		// Small tier: every analysis, including baseline 3obj, finishes.
+		{Name: "antlr", Seed: 104, Modules: 6, TypesPerModule: 7, BuildersPerModule: 40, ListsPerModule: 6, MapsPerModule: 2, ChainDepth: 4, ChainsPerModule: 2, Statics: 2, NullFieldsPerModule: 2, RendersPerModule: 12, ParasPerDoc: 2},
+		{Name: "fop", Seed: 108, Modules: 7, TypesPerModule: 7, BuildersPerModule: 35, ListsPerModule: 6, MapsPerModule: 2, ChainDepth: 4, ChainsPerModule: 2, Statics: 2, NullFieldsPerModule: 1, RendersPerModule: 12, ParasPerDoc: 2},
+		{Name: "luindex", Seed: 109, Modules: 4, TypesPerModule: 6, BuildersPerModule: 30, ListsPerModule: 5, MapsPerModule: 2, ChainDepth: 3, ChainsPerModule: 2, Statics: 1, NullFieldsPerModule: 1, RendersPerModule: 10, ParasPerDoc: 2},
+		{Name: "lusearch", Seed: 110, Modules: 5, TypesPerModule: 6, BuildersPerModule: 30, ListsPerModule: 5, MapsPerModule: 2, ChainDepth: 3, ChainsPerModule: 2, Statics: 1, NullFieldsPerModule: 1, RendersPerModule: 10, ParasPerDoc: 2},
+	}
+	sort.Slice(base, func(i, j int) bool { return base[i].Name < base[j].Name })
+	return base
+}
+
+// ProfileByName returns the named profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("synth: unknown benchmark %q", name)
+}
+
+// ProfileNames lists the benchmark names in table order.
+func ProfileNames() []string {
+	ps := Profiles()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mahjong/internal/lang"
+)
+
+// RandomProgram generates a small random but well-typed program for
+// property-based testing: a handful of classes in a random hierarchy
+// with fields and virtual methods, plus a main that allocates, stores,
+// loads, casts, and calls through randomly chosen variables. All
+// programs validate; determinism follows from the seed.
+//
+// The generator's purpose is adversarial coverage of the analysis
+// pipeline (soundness and abstraction-ordering properties), not
+// realism — use Generate/Profiles for realistic workloads.
+func RandomProgram(seed int64) *lang.Program {
+	rng := rand.New(rand.NewSource(seed))
+	p := lang.NewProgram()
+	obj := p.Object()
+
+	// Class hierarchy: 3–8 classes, each extending Object or an earlier
+	// class, with 0–2 fields of earlier-declared types (or Object).
+	nClasses := 3 + rng.Intn(6)
+	classes := make([]*lang.Class, 0, nClasses)
+	for i := 0; i < nClasses; i++ {
+		var super *lang.Class
+		if len(classes) > 0 && rng.Intn(2) == 0 {
+			super = classes[rng.Intn(len(classes))]
+		}
+		c := p.NewClass(fmt.Sprintf("R%d", i), super)
+		classes = append(classes, c)
+		for f := 0; f < rng.Intn(3); f++ {
+			ft := obj
+			if rng.Intn(2) == 0 {
+				ft = classes[rng.Intn(len(classes))]
+			}
+			c.NewField(fmt.Sprintf("f%d", f), ft)
+		}
+	}
+	// Every class overrides a virtual `m` returning Object half the time.
+	baseM := classes[0].NewMethod("m", false, nil, obj)
+	baseM.AddReturn(baseM.This)
+	for _, c := range classes[1:] {
+		if rng.Intn(2) == 0 {
+			mm := c.NewMethod("m", false, nil, obj)
+			mm.AddReturn(mm.This)
+		}
+	}
+
+	// A static helper passing values through (context-sensitivity food).
+	helperCls := p.NewClass("H", nil)
+	id := helperCls.NewMethod("id", true, []*lang.Class{obj}, obj)
+	id.AddReturn(id.Params[0])
+
+	// An exception hierarchy and a thrower, to exercise the $exc flow.
+	errCls := p.NewClass("Err", nil)
+	ioErr := p.NewClass("IOErr", errCls)
+	boom := helperCls.NewMethod("boom", true, nil, nil)
+	{
+		ev := boom.NewVar("ev", errCls)
+		boom.AddAlloc(ev, ioErr)
+		boom.AddThrow(ev)
+		boom.AddReturn(nil)
+	}
+
+	mainCls := p.NewClass("Main", nil)
+	m := mainCls.NewMethod("main", true, nil, nil)
+
+	// Variables: a few of type Object, a few of random class types.
+	nVars := 4 + rng.Intn(6)
+	vars := make([]*lang.Var, 0, nVars)
+	for i := 0; i < nVars; i++ {
+		t := obj
+		if rng.Intn(2) == 0 {
+			t = classes[rng.Intn(len(classes))]
+		}
+		vars = append(vars, m.NewVar(fmt.Sprintf("v%d", i), t))
+	}
+	anyVar := func() *lang.Var { return vars[rng.Intn(len(vars))] }
+	// sink returns a variable that can soundly receive values of static
+	// type typ (typ <: var type), keeping the program Java-typable: any
+	// narrowing goes through an explicit cast, whose filter guarantees
+	// the runtime types conform. This property is what lets the CHA/RTA
+	// comparison tests rely on receivers' static types.
+	sink := func(typ *lang.Class) *lang.Var {
+		for tries := 0; tries < 8; tries++ {
+			v := anyVar()
+			if typ.SubtypeOf(v.Type) {
+				return v
+			}
+		}
+		return nil
+	}
+	// source returns a variable whose values fit static type typ.
+	source := func(typ *lang.Class) *lang.Var {
+		for tries := 0; tries < 8; tries++ {
+			v := anyVar()
+			if v.Type.SubtypeOf(typ) {
+				return v
+			}
+		}
+		return nil
+	}
+
+	// Seed every variable with at least one allocation of a compatible
+	// type so later statements have flow to observe.
+	for _, v := range vars {
+		t := v.Type
+		if t == obj {
+			t = classes[rng.Intn(len(classes))]
+		}
+		m.AddAlloc(v, concreteSubtype(rng, classes, t))
+	}
+
+	nStmts := 10 + rng.Intn(25)
+	for i := 0; i < nStmts; i++ {
+		switch rng.Intn(9) {
+		case 0: // alloc
+			v := anyVar()
+			t := v.Type
+			if t == obj {
+				t = classes[rng.Intn(len(classes))]
+			}
+			m.AddAlloc(v, concreteSubtype(rng, classes, t))
+		case 1: // copy (widening only)
+			src := anyVar()
+			if dst := sink(src.Type); dst != nil {
+				m.AddCopy(dst, src)
+			}
+		case 2: // store
+			base := anyVar()
+			if fs := storableFields(base.Type); len(fs) > 0 {
+				f := fs[rng.Intn(len(fs))]
+				if src := source(f.Type); src != nil {
+					m.AddStore(base, f, src)
+				}
+			}
+		case 3: // load
+			base := anyVar()
+			if fs := storableFields(base.Type); len(fs) > 0 {
+				f := fs[rng.Intn(len(fs))]
+				if dst := sink(f.Type); dst != nil {
+					m.AddLoad(dst, base, f)
+				}
+			}
+		case 4: // explicit (checked) downcast
+			src := anyVar()
+			t := classes[rng.Intn(len(classes))]
+			if dst := sink(t); dst != nil {
+				m.AddCast(dst, t, src)
+			}
+		case 5: // virtual call
+			recv := anyVar()
+			if recv.Type.LookupMethod(lang.Sig{Name: "m", Arity: 0}) != nil {
+				m.AddVirtualCall(sink(obj), recv, "m")
+			}
+		case 6: // static identity call
+			src := anyVar()
+			if dst := sink(obj); dst != nil {
+				m.AddStaticCall(dst, id, src)
+			}
+		case 7: // call a thrower, and occasionally throw directly
+			m.AddStaticCall(nil, boom)
+			if rng.Intn(3) == 0 {
+				ev := m.NewVar(fmt.Sprintf("ev%d", i), errCls)
+				m.AddAlloc(ev, errCls)
+				m.AddThrow(ev)
+			}
+		case 8: // catch
+			if dst := sink(errCls); dst != nil {
+				m.AddCatch(dst, errCls)
+			}
+		}
+	}
+	m.AddReturn(nil)
+	p.SetEntry(m)
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("synth: random program (seed %d) invalid: %v", seed, err))
+	}
+	return p
+}
+
+// concreteSubtype picks a random class that is a subtype of t (possibly
+// t itself).
+func concreteSubtype(rng *rand.Rand, classes []*lang.Class, t *lang.Class) *lang.Class {
+	var subs []*lang.Class
+	for _, c := range classes {
+		if c.SubtypeOf(t) {
+			subs = append(subs, c)
+		}
+	}
+	if len(subs) == 0 {
+		return t
+	}
+	return subs[rng.Intn(len(subs))]
+}
+
+// storableFields lists the instance fields reachable on a static type.
+func storableFields(t *lang.Class) []*lang.Field {
+	return t.InstanceFields()
+}

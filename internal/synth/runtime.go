@@ -1,0 +1,222 @@
+// Package synth generates the benchmark programs of the evaluation.
+//
+// The paper evaluates on 12 large Java programs (three applications plus
+// the standard DaCapo suite minus jython and hsqldb) linked against
+// JDK 1.6. Those inputs are Java bytecode and unavailable to a pure-Go,
+// offline reproduction, so this package synthesizes programs with the
+// same heap shapes, at configurable scale, on top of a hand-written
+// mini runtime library:
+//
+//   - string machinery (String/char[]/StringBuilder): large numbers of
+//     allocation sites that are mutually type-consistent — the heap
+//     over-partitioning that Mahjong collapses (Table 1 row 1);
+//   - generic containers (ArrayList/Object[]/HashMap/iterators) holding
+//     different element types at different sites: same-type objects that
+//     are NOT type-consistent, which the allocation-type abstraction
+//     merges at a precision cost but Mahjong keeps apart (§2.1, Table 1
+//     rows 2/4/5);
+//   - dispatch-heavy visitor hierarchies and wrapper call chains, which
+//     make context-sensitivity matter and separate the precision of
+//     ci/2cs/2type/2obj/3obj;
+//   - never-initialized fields, exercising the null-field distinction
+//     (Table 1 row 6).
+//
+// Generation is deterministic per profile (seeded math/rand), so every
+// table and figure regenerates bit-identically.
+package synth
+
+import "mahjong/internal/lang"
+
+// Runtime bundles the mini runtime library classes that generated
+// application code links against.
+type Runtime struct {
+	Prog *lang.Program
+
+	Char      *lang.Class // the primitive-like char class
+	CharArray *lang.Class
+	String    *lang.Class
+	Builder   *lang.Class // java.lang.StringBuilder
+	ObjArray  *lang.Class // java.lang.Object[]
+
+	ArrayList *lang.Class
+	Iterator  *lang.Class
+	HashMap   *lang.Class
+	Entry     *lang.Class
+	Box       *lang.Class // java.lang.Integer-like leaf value
+
+	// Frequently used members.
+	StringValue  *lang.Field // String.value: char[]
+	BuilderValue *lang.Field // StringBuilder.value: char[]
+	ListData     *lang.Field // ArrayList.elementData: Object[]
+	ListAdd      *lang.Method
+	ListGet      *lang.Method
+	ListIterator *lang.Method
+	IterNext     *lang.Method
+	MapPut       *lang.Method
+	MapGet       *lang.Method
+	BuilderNew   *lang.Method // static StringBuilder.make()
+	BuilderApp   *lang.Method // append(String): StringBuilder
+	BuilderStr   *lang.Method // toString(): String
+	MkString     *lang.Method // static String.make(): String
+}
+
+// NewRuntime builds the mini runtime library into a fresh program.
+func NewRuntime() *Runtime {
+	p := lang.NewProgram()
+	obj := p.Object()
+	rt := &Runtime{Prog: p}
+
+	rt.Char = p.NewClass("char", nil)
+	rt.CharArray = p.ArrayOf(rt.Char)
+
+	// java.lang.String
+	rt.String = p.NewClass("java.lang.String", nil)
+	rt.StringValue = rt.String.NewField("value", rt.CharArray)
+	{
+		// static String.make(): String — allocates the String and its
+		// backing char[] (the canonical type-consistent pattern).
+		mk := rt.String.NewMethod("make", true, nil, rt.String)
+		s := mk.NewVar("s", rt.String)
+		cs := mk.NewVar("cs", rt.CharArray)
+		mk.AddAlloc(s, rt.String)
+		mk.AddAlloc(cs, rt.CharArray)
+		mk.AddStore(s, rt.StringValue, cs)
+		mk.AddReturn(s)
+		rt.MkString = mk
+
+		// String.concat(String): String
+		concat := rt.String.NewMethod("concat", false, []*lang.Class{rt.String}, rt.String)
+		out := concat.NewVar("out", rt.String)
+		cs2 := concat.NewVar("cs", rt.CharArray)
+		concat.AddAlloc(out, rt.String)
+		concat.AddAlloc(cs2, rt.CharArray)
+		concat.AddStore(out, rt.StringValue, cs2)
+		concat.AddReturn(out)
+	}
+
+	// java.lang.StringBuilder
+	rt.Builder = p.NewClass("java.lang.StringBuilder", nil)
+	rt.BuilderValue = rt.Builder.NewField("value", rt.CharArray)
+	{
+		mk := rt.Builder.NewMethod("make", true, nil, rt.Builder)
+		b := mk.NewVar("b", rt.Builder)
+		cs := mk.NewVar("cs", rt.CharArray)
+		mk.AddAlloc(b, rt.Builder)
+		mk.AddAlloc(cs, rt.CharArray)
+		mk.AddStore(b, rt.BuilderValue, cs)
+		mk.AddReturn(b)
+		rt.BuilderNew = mk
+
+		app := rt.Builder.NewMethod("append", false, []*lang.Class{rt.String}, rt.Builder)
+		cs3 := app.NewVar("cs", rt.CharArray)
+		app.AddAlloc(cs3, rt.CharArray) // buffer growth
+		app.AddStore(app.This, rt.BuilderValue, cs3)
+		app.AddReturn(app.This)
+		rt.BuilderApp = app
+
+		ts := rt.Builder.NewMethod("toString", false, nil, rt.String)
+		s := ts.NewVar("s", rt.String)
+		v := ts.NewVar("v", rt.CharArray)
+		ts.AddAlloc(s, rt.String)
+		ts.AddLoad(v, ts.This, rt.BuilderValue)
+		ts.AddStore(s, rt.StringValue, v)
+		ts.AddReturn(s)
+		rt.BuilderStr = ts
+	}
+
+	rt.ObjArray = p.ArrayOf(obj)
+	elem := rt.ObjArray.Field(lang.ElemField)
+
+	// java.util.ArrayList
+	rt.ArrayList = p.NewClass("java.util.ArrayList", nil)
+	rt.ListData = rt.ArrayList.NewField("elementData", rt.ObjArray)
+	{
+		init := rt.ArrayList.NewMethod("init", false, nil, nil)
+		d := init.NewVar("d", rt.ObjArray)
+		init.AddAlloc(d, rt.ObjArray)
+		init.AddStore(init.This, rt.ListData, d)
+		init.AddReturn(nil)
+
+		add := rt.ArrayList.NewMethod("add", false, []*lang.Class{obj}, nil)
+		d2 := add.NewVar("d", rt.ObjArray)
+		add.AddLoad(d2, add.This, rt.ListData)
+		add.AddStore(d2, elem, add.Params[0])
+		add.AddReturn(nil)
+		rt.ListAdd = add
+
+		get := rt.ArrayList.NewMethod("get", false, nil, obj)
+		d3 := get.NewVar("d", rt.ObjArray)
+		v := get.NewVar("v", obj)
+		get.AddLoad(d3, get.This, rt.ListData)
+		get.AddLoad(v, d3, elem)
+		get.AddReturn(v)
+		rt.ListGet = get
+	}
+
+	// java.util.Iterator over ArrayList
+	rt.Iterator = p.NewClass("java.util.Iterator", nil)
+	ownerF := rt.Iterator.NewField("owner", rt.ArrayList)
+	{
+		next := rt.Iterator.NewMethod("next", false, nil, obj)
+		o := next.NewVar("o", rt.ArrayList)
+		v := next.NewVar("v", obj)
+		next.AddLoad(o, next.This, ownerF)
+		next.AddVirtualCall(v, o, "get")
+		next.AddReturn(v)
+		rt.IterNext = next
+
+		it := rt.ArrayList.NewMethod("iterator", false, nil, rt.Iterator)
+		iv := it.NewVar("iv", rt.Iterator)
+		it.AddAlloc(iv, rt.Iterator)
+		it.AddStore(iv, ownerF, it.This)
+		it.AddReturn(iv)
+		rt.ListIterator = it
+	}
+
+	// java.util.HashMap with chained entries
+	rt.Entry = p.NewClass("java.util.HashMap$Entry", nil)
+	keyF := rt.Entry.NewField("key", obj)
+	valF := rt.Entry.NewField("value", obj)
+	nextF := rt.Entry.NewField("next", rt.Entry)
+	rt.HashMap = p.NewClass("java.util.HashMap", nil)
+	tableF := rt.HashMap.NewField("table", p.ArrayOf(rt.Entry))
+	entryArr := p.ArrayOf(rt.Entry)
+	entryElem := entryArr.Field(lang.ElemField)
+	{
+		init := rt.HashMap.NewMethod("init", false, nil, nil)
+		tb := init.NewVar("tb", entryArr)
+		init.AddAlloc(tb, entryArr)
+		init.AddStore(init.This, tableF, tb)
+		init.AddReturn(nil)
+
+		put := rt.HashMap.NewMethod("put", false, []*lang.Class{obj, obj}, nil)
+		tb2 := put.NewVar("tb", entryArr)
+		e := put.NewVar("e", rt.Entry)
+		old := put.NewVar("old", rt.Entry)
+		put.AddLoad(tb2, put.This, tableF)
+		put.AddAlloc(e, rt.Entry)
+		put.AddStore(e, keyF, put.Params[0])
+		put.AddStore(e, valF, put.Params[1])
+		put.AddLoad(old, tb2, entryElem)
+		put.AddStore(e, nextF, old)
+		put.AddStore(tb2, entryElem, e)
+		put.AddReturn(nil)
+		rt.MapPut = put
+
+		get := rt.HashMap.NewMethod("get", false, []*lang.Class{obj}, obj)
+		tb3 := get.NewVar("tb", entryArr)
+		e2 := get.NewVar("e", rt.Entry)
+		v := get.NewVar("v", obj)
+		get.AddLoad(tb3, get.This, tableF)
+		get.AddLoad(e2, tb3, entryElem)
+		get.AddLoad(v, e2, valF)
+		get.AddReturn(v)
+		rt.MapGet = get
+	}
+
+	// java.lang.Integer-like leaf value type.
+	rt.Box = p.NewClass("java.lang.Integer", nil)
+	rt.Box.NewMethod("intValue", false, nil, nil).AddReturn(nil)
+
+	return rt
+}

@@ -1,0 +1,187 @@
+package synth
+
+import (
+	"testing"
+
+	"mahjong/internal/clients"
+	"mahjong/internal/core"
+	"mahjong/internal/fpg"
+	"mahjong/internal/lang"
+	"mahjong/internal/pta"
+)
+
+func TestProfilesComplete(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 12 {
+		t.Fatalf("profiles=%d want 12", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Name] {
+			t.Fatalf("duplicate profile %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	for _, want := range []string{"eclipse", "checkstyle", "pmd", "luindex", "JPC", "findbugs"} {
+		if !seen[want] {
+			t.Fatalf("missing profile %s", want)
+		}
+	}
+	if _, err := ProfileByName("eclipse"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ProfileByName("no-such"); err == nil {
+		t.Fatal("want error for unknown profile")
+	}
+	if got := len(ProfileNames()); got != 12 {
+		t.Fatalf("names=%d", got)
+	}
+}
+
+func TestGenerateAllValid(t *testing.T) {
+	for _, p := range Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			prog, err := Generate(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := prog.Stats()
+			if st.AllocSites < 100 {
+				t.Fatalf("%s too small: %+v", p.Name, st)
+			}
+			if st.Classes < 20 {
+				t.Fatalf("%s too few classes: %+v", p.Name, st)
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := ProfileByName("luindex")
+	a := MustGenerate(p)
+	b := MustGenerate(p)
+	sa, sb := a.Stats(), b.Stats()
+	if sa != sb {
+		t.Fatalf("stats differ: %+v vs %+v", sa, sb)
+	}
+	// Same alloc-site labels in the same order.
+	for i := range a.Sites {
+		if a.Sites[i].Label != b.Sites[i].Label {
+			t.Fatalf("site %d: %q vs %q", i, a.Sites[i].Label, b.Sites[i].Label)
+		}
+	}
+}
+
+// TestPipelineShape runs the full Mahjong pipeline on the smallest
+// benchmark and checks the qualitative shape the paper reports.
+func TestPipelineShape(t *testing.T) {
+	p, _ := ProfileByName("luindex")
+	prog := MustGenerate(p)
+
+	pre, err := pta.Solve(prog, pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Aborted {
+		t.Fatal("pre-analysis aborted")
+	}
+	g := fpg.Build(pre, fpg.Options{})
+	res := core.Build(g, core.Options{})
+
+	// Mahjong must merge a substantial fraction of the heap: the paper
+	// reports an average 62% object reduction (Figure 8). The synthetic
+	// programs should land in a broad 30–90% band.
+	red := res.Reduction()
+	if red < 0.30 || red > 0.95 {
+		t.Fatalf("reduction=%.2f outside [0.30, 0.95]", red)
+	}
+
+	// Precision shape (§2.1): alloc-site ⊑ mahjong ⊑ alloc-type for the
+	// three clients; and mahjong ≈ alloc-site.
+	base := clients.Evaluate(pre)
+	mh, err := pta.Solve(prog, pta.Options{Heap: res.HeapModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mhM := clients.Evaluate(mh)
+	ty, err := pta.Solve(prog, pta.Options{Heap: pta.NewAllocTypeModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tyM := clients.Evaluate(ty)
+
+	if mhM.CallGraphEdges < base.CallGraphEdges {
+		t.Fatalf("mahjong lost call edges: %d < %d (unsound)", mhM.CallGraphEdges, base.CallGraphEdges)
+	}
+	if tyM.PolyCallSites < mhM.PolyCallSites || tyM.MayFailCasts < mhM.MayFailCasts {
+		t.Fatalf("alloc-type more precise than mahjong: %+v vs %+v", tyM, mhM)
+	}
+	// Near-losslessness: within 2% on call graph edges.
+	if float64(mhM.CallGraphEdges) > 1.02*float64(base.CallGraphEdges) {
+		t.Fatalf("mahjong call edges %d vs baseline %d: >2%% loss", mhM.CallGraphEdges, base.CallGraphEdges)
+	}
+	// Alloc-type must be visibly less precise on may-fail casts.
+	if tyM.MayFailCasts <= mhM.MayFailCasts {
+		t.Fatalf("alloc-type casts %d should exceed mahjong %d", tyM.MayFailCasts, mhM.MayFailCasts)
+	}
+
+	// Object counts: type ≤ mahjong ≤ alloc-site.
+	nType, nMahjong, nSite := len(ty.Objs()), res.NumMerged, res.NumObjects
+	if !(nType <= nMahjong && nMahjong <= nSite) {
+		t.Fatalf("object counts out of order: type=%d mahjong=%d site=%d", nType, nMahjong, nSite)
+	}
+}
+
+func TestFigure1Helper(t *testing.T) {
+	f := NewFigure1()
+	if len(f.Sites) != 6 || f.Call == nil || f.Cast == nil {
+		t.Fatal("Figure1 incomplete")
+	}
+	st := f.Prog.Stats()
+	if st.AllocSites != 6 {
+		t.Fatalf("sites=%d", st.AllocSites)
+	}
+}
+
+// TestDiverseDocsDefeatMerging ties the DiverseDocs knob to its
+// purpose: the diverse profiles merge a visibly smaller fraction of the
+// heap than their consistent counterparts.
+func TestDiverseDocsDefeatMerging(t *testing.T) {
+	reduction := func(name string) float64 {
+		t.Helper()
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := MustGenerate(p)
+		pre, err := pta.Solve(prog, pta.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := fpg.Build(pre, fpg.Options{})
+		return core.Build(g, core.Options{}).Reduction()
+	}
+	consistent := reduction("pmd") // type-consistent documents
+	diverse := reduction("JPC")    // per-site content classes
+	if diverse >= consistent {
+		t.Fatalf("diverse reduction %.2f should be below consistent %.2f", diverse, consistent)
+	}
+	if consistent < 0.85 {
+		t.Fatalf("consistent profile merges too little: %.2f", consistent)
+	}
+}
+
+func TestRandomProgramsValidateAndVary(t *testing.T) {
+	statsSeen := map[lang.Stats]bool{}
+	for seed := int64(0); seed < 30; seed++ {
+		prog := RandomProgram(seed)
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("seed %d invalid: %v", seed, err)
+		}
+		statsSeen[prog.Stats()] = true
+	}
+	if len(statsSeen) < 20 {
+		t.Fatalf("random programs too uniform: %d distinct shapes of 30", len(statsSeen))
+	}
+}

@@ -1,0 +1,313 @@
+// Package mahjong is the public API of this repository: a Go
+// implementation of MAHJONG, the heap abstraction of
+//
+//	Tian Tan, Yue Li, Jingling Xue.
+//	"Efficient and Precise Points-to Analysis: Modeling the Heap by
+//	Merging Equivalent Automata." PLDI 2017.
+//
+// together with everything it runs on: an object-oriented IR with a
+// textual format, a context-sensitive whole-program points-to analysis
+// (Doop-style, with call-site/object/type sensitivity), the three
+// type-dependent clients of the paper (call graph construction,
+// devirtualization, may-fail casting), and a benchmark suite that
+// regenerates every table and figure of the paper's evaluation.
+//
+// The typical flow mirrors Figure 5 of the paper:
+//
+//	prog, _ := mahjong.LoadProgram("app.ir")        // or ParseProgram
+//	abs, _  := mahjong.BuildAbstraction(prog, mahjong.AbstractionOptions{})
+//	rep, _  := mahjong.Analyze(prog, mahjong.Config{
+//	        Analysis: "3obj",
+//	        Heap:     mahjong.HeapMahjong,
+//	        Abstraction: abs,
+//	})
+//	fmt.Println(rep.Metrics.CallGraphEdges)
+package mahjong
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"mahjong/internal/bench"
+	"mahjong/internal/clients"
+	"mahjong/internal/core"
+	"mahjong/internal/fpg"
+	"mahjong/internal/lang"
+	"mahjong/internal/parser"
+	"mahjong/internal/pta"
+	"mahjong/internal/synth"
+)
+
+// Program is an analyzable whole program; build one with LoadProgram,
+// ParseProgram, GenerateBenchmark, or the lang builder API.
+type Program = lang.Program
+
+// LoadProgram parses a textual-IR file.
+func LoadProgram(path string) (*Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return parser.Parse(path, string(data))
+}
+
+// ParseProgram parses textual IR from a string; name is used in errors.
+func ParseProgram(name, src string) (*Program, error) {
+	return parser.Parse(name, src)
+}
+
+// PrintProgram renders a program back to textual IR.
+func PrintProgram(p *Program) string { return parser.Print(p) }
+
+// GenerateBenchmark builds one of the 12 named synthetic benchmarks
+// ("eclipse", "pmd", "luindex", …; see BenchmarkNames).
+func GenerateBenchmark(name string) (*Program, error) {
+	prof, err := synth.ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return synth.Generate(prof)
+}
+
+// BenchmarkNames lists the available benchmark programs.
+func BenchmarkNames() []string { return synth.ProfileNames() }
+
+// HeapKind selects a heap abstraction.
+type HeapKind string
+
+const (
+	// HeapAllocSite is the conventional allocation-site abstraction.
+	HeapAllocSite HeapKind = "alloc-site"
+	// HeapAllocType is the naive one-object-per-type abstraction (§2.1).
+	HeapAllocType HeapKind = "alloc-type"
+	// HeapMahjong is the paper's abstraction; requires an Abstraction
+	// built by BuildAbstraction.
+	HeapMahjong HeapKind = "mahjong"
+)
+
+// AbstractionOptions tunes the heap modeler (they mirror the §5
+// optimizations and the representative-selection discussion of §3.6.2).
+type AbstractionOptions struct {
+	// Workers bounds parallel per-type merging; 0 = GOMAXPROCS.
+	Workers int
+	// TypeDiverseReps elects representatives that maximize type-context
+	// diversity for M-ktype (Example 3.2) instead of the paper's
+	// arbitrary choice.
+	TypeDiverseReps bool
+	// DisableSharedAutomata turns off the hash-consed automata store
+	// (ablation; results are identical, construction is slower).
+	DisableSharedAutomata bool
+	// OmitNullNode drops the dummy null object from the field points-to
+	// graph (ablation of the null-field handling, Example 3.1).
+	OmitNullNode bool
+	// PreBudget caps the pre-analysis (0 = unlimited).
+	PreBudget int64
+}
+
+// Abstraction is a built Mahjong heap abstraction: the merged-object
+// map plus statistics about the merge.
+type Abstraction struct {
+	// MOM maps each allocation site to its representative (Definition 2.2).
+	MOM map[*lang.AllocSite]*lang.AllocSite
+	// Objects and MergedObjects are the heap sizes before and after
+	// merging (the Figure 8 pair).
+	Objects, MergedObjects int
+	// Classes is the number of equivalence classes of size >= 2.
+	Classes int
+	// PreTime, FPGTime and ModelTime split the pre-analysis pipeline
+	// cost (the §6.1.1 breakdown).
+	PreTime, FPGTime, ModelTime time.Duration
+
+	res *core.Result
+}
+
+// Reduction returns the fraction of abstract objects eliminated.
+func (a *Abstraction) Reduction() float64 { return a.res.Reduction() }
+
+// Save writes the abstraction (its equivalence classes, keyed by stable
+// allocation-site labels) as JSON, so an expensive modeling run can be
+// reloaded later with LoadAbstraction.
+func (a *Abstraction) Save(w io.Writer) error { return a.res.Save(w) }
+
+// LoadAbstraction reads an abstraction previously written by Save and
+// rebinds it to prog's allocation sites. It fails when the file belongs
+// to a different program.
+func LoadAbstraction(r io.Reader, prog *Program) (*Abstraction, error) {
+	mom, total, err := core.LoadMOM(r, prog)
+	if err != nil {
+		return nil, err
+	}
+	// Reconstruct the summary counters from the loaded classes.
+	classes := map[*lang.AllocSite]int{}
+	for site, rep := range mom {
+		if site != rep {
+			classes[rep]++
+		}
+	}
+	mergedAway := 0
+	for _, extra := range classes {
+		mergedAway += extra
+	}
+	res := &core.Result{MOM: mom, NumObjects: total, NumMerged: total - mergedAway}
+	return &Abstraction{
+		MOM:           mom,
+		Objects:       total,
+		MergedObjects: total - mergedAway,
+		Classes:       len(classes),
+		res:           res,
+	}, nil
+}
+
+// SizeHistogram returns (class size, #classes) pairs (Figure 9).
+func (a *Abstraction) SizeHistogram() [][2]int { return a.res.SizeHistogram() }
+
+// BuildAbstraction runs the Mahjong pipeline of Figure 5: the fast
+// context-insensitive pre-analysis, FPG construction, and the heap
+// modeler (Algorithm 1).
+func BuildAbstraction(p *Program, opts AbstractionOptions) (*Abstraction, error) {
+	t0 := time.Now()
+	pre, err := pta.Solve(p, pta.Options{Budget: pta.Budget{Work: opts.PreBudget}})
+	if err != nil {
+		return nil, fmt.Errorf("mahjong: pre-analysis: %w", err)
+	}
+	if pre.Aborted {
+		return nil, fmt.Errorf("mahjong: pre-analysis exceeded budget")
+	}
+	preTime := time.Since(t0)
+
+	t1 := time.Now()
+	g := fpg.Build(pre, fpg.Options{OmitNullNode: opts.OmitNullNode})
+	fpgTime := time.Since(t1)
+
+	policy := core.RepFirst
+	if opts.TypeDiverseReps {
+		policy = core.RepTypeDiverse
+	}
+	res := core.Build(g, core.Options{
+		Workers:        opts.Workers,
+		Policy:         policy,
+		DisableSharing: opts.DisableSharedAutomata,
+	})
+	merged := 0
+	for _, c := range res.Classes {
+		if c.Size() >= 2 {
+			merged++
+		}
+	}
+	return &Abstraction{
+		MOM:           res.MOM,
+		Objects:       res.NumObjects,
+		MergedObjects: res.NumMerged,
+		Classes:       merged,
+		PreTime:       preTime,
+		FPGTime:       fpgTime,
+		ModelTime:     res.Duration,
+		res:           res,
+	}, nil
+}
+
+// Config selects the analysis of an Analyze run.
+type Config struct {
+	// Analysis is one of "ci", "2cs", "2type", "3type", "2obj", "3obj"
+	// (any k works via KCallSite/KObject/KTypeSensitive below).
+	Analysis string
+	// Heap selects the abstraction; HeapMahjong requires Abstraction.
+	Heap HeapKind
+	// Abstraction is the result of BuildAbstraction (HeapMahjong only).
+	Abstraction *Abstraction
+	// BudgetWork caps propagation work (0 = unlimited); BudgetTime caps
+	// wall-clock time. Exceeding either aborts with Report.Scalable=false.
+	BudgetWork int64
+	BudgetTime time.Duration
+}
+
+// Report is the outcome of Analyze.
+type Report struct {
+	// Scalable is false when the run exceeded its budget; Metrics are
+	// only valid when Scalable.
+	Scalable bool
+	Time     time.Duration
+	Work     int64
+	// Metrics are the three type-dependent client results plus
+	// reachable-method count.
+	Metrics clients.Metrics
+	// CSObjects and CSMethods measure context-sensitive analysis size.
+	CSObjects, CSMethods int
+
+	result *pta.Result
+}
+
+// Result exposes the underlying points-to result for advanced queries
+// (points-to sets, call targets, reachable casts).
+func (r *Report) Result() *pta.Result { return r.result }
+
+// Analyze runs a points-to analysis with the three type-dependent
+// clients on top.
+func Analyze(p *Program, cfg Config) (*Report, error) {
+	sel, err := selectorFor(cfg.Analysis)
+	if err != nil {
+		return nil, err
+	}
+	var heap pta.HeapModel
+	switch cfg.Heap {
+	case HeapAllocSite, "":
+		heap = pta.NewAllocSiteModel()
+	case HeapAllocType:
+		heap = pta.NewAllocTypeModel()
+	case HeapMahjong:
+		if cfg.Abstraction == nil {
+			return nil, fmt.Errorf("mahjong: HeapMahjong requires Config.Abstraction")
+		}
+		heap = pta.NewMergedSiteModel(cfg.Abstraction.MOM)
+	default:
+		return nil, fmt.Errorf("mahjong: unknown heap kind %q", cfg.Heap)
+	}
+	r, err := pta.Solve(p, pta.Options{
+		Selector: sel,
+		Heap:     heap,
+		Budget:   pta.Budget{Work: cfg.BudgetWork, Time: cfg.BudgetTime},
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Scalable:  !r.Aborted,
+		Time:      r.Duration,
+		Work:      r.Work,
+		CSObjects: r.NumCSObjs(),
+		CSMethods: r.NumCSMethods(),
+		result:    r,
+	}
+	if rep.Scalable {
+		rep.Metrics = clients.Evaluate(r)
+	}
+	return rep, nil
+}
+
+func selectorFor(name string) (pta.Selector, error) {
+	switch name {
+	case "", "ci":
+		return pta.CI{}, nil
+	}
+	var k int
+	var kind string
+	if _, err := fmt.Sscanf(name, "%d%s", &k, &kind); err != nil || k < 1 {
+		return nil, fmt.Errorf("mahjong: unknown analysis %q", name)
+	}
+	switch kind {
+	case "cs":
+		return pta.KCFA{K: k}, nil
+	case "obj":
+		return pta.KObj{K: k}, nil
+	case "type":
+		return pta.KType{K: k}, nil
+	default:
+		return nil, fmt.Errorf("mahjong: unknown analysis %q", name)
+	}
+}
+
+// NewSuite returns the full experiment suite used by cmd/experiments
+// and the root benchmarks.
+func NewSuite() *bench.Suite { return bench.NewSuite() }
