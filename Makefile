@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test lint serve race clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) vet ./...
+	gofmt -l .
+
+serve: ## run the analysis daemon on :8080
+	$(GO) run ./cmd/mahjongd -addr=:8080
+
+clean:
+	$(GO) clean ./...

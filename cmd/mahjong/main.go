@@ -6,15 +6,27 @@
 // It builds the Mahjong heap abstraction (when -heap=mahjong), runs the
 // requested points-to analysis, and prints the heap-abstraction and
 // client statistics.
+//
+// Exit codes: 0 on success, 1 on misuse or analysis errors, and 3 when
+// the run was stopped by resource exhaustion — a -budget overrun, an
+// unscalable configuration, or a -timeout expiry. (2 is taken by the
+// flag package for command-line parse errors.)
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"mahjong"
 	"mahjong/internal/export"
+)
+
+const (
+	exitFailure   = 1 // misuse, I/O errors, analysis misconfiguration
+	exitExhausted = 3 // budget or timeout exhaustion; 2 is flag's parse-error exit
 )
 
 func main() {
@@ -28,7 +40,15 @@ func main() {
 	cgOut := flag.String("callgraph", "", "write the call graph to this file (.dot or .json by extension)")
 	saveAbs := flag.String("save-abstraction", "", "write the built Mahjong abstraction to this JSON file")
 	loadAbs := flag.String("load-abstraction", "", "reuse a previously saved abstraction instead of rebuilding it")
+	timeout := flag.Duration("timeout", 0, "wall-clock deadline for the whole run, e.g. 30s (0 = none)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	prog, err := load(*in, *benchName)
 	if err != nil {
@@ -44,7 +64,7 @@ func main() {
 		BudgetWork: *budget,
 	}
 	if cfg.Heap == mahjong.HeapMahjong {
-		abs, err := obtainAbstraction(prog, *loadAbs, *workers)
+		abs, err := obtainAbstraction(ctx, prog, *loadAbs, *workers)
 		if err != nil {
 			fail(err)
 		}
@@ -66,13 +86,13 @@ func main() {
 		}
 	}
 
-	rep, err := mahjong.Analyze(prog, cfg)
+	rep, err := mahjong.AnalyzeContext(ctx, prog, cfg)
 	if err != nil {
 		fail(err)
 	}
 	if !rep.Scalable {
 		fmt.Printf("%s/%s: UNSCALABLE within budget (%d work units)\n", *analysis, *heap, rep.Work)
-		os.Exit(2)
+		os.Exit(exitExhausted)
 	}
 	fmt.Printf("%s/%s: %v, %d work units, %d cs-objects, %d cs-methods\n",
 		*analysis, *heap, rep.Time.Round(1e5), rep.Work, rep.CSObjects, rep.CSMethods)
@@ -103,9 +123,9 @@ func writeCallGraph(path string, rep *mahjong.Report) error {
 
 // obtainAbstraction loads a persisted abstraction when a path is given,
 // otherwise builds one from scratch.
-func obtainAbstraction(prog *mahjong.Program, loadPath string, workers int) (*mahjong.Abstraction, error) {
+func obtainAbstraction(ctx context.Context, prog *mahjong.Program, loadPath string, workers int) (*mahjong.Abstraction, error) {
 	if loadPath == "" {
-		return mahjong.BuildAbstraction(prog, mahjong.AbstractionOptions{Workers: workers})
+		return mahjong.BuildAbstractionContext(ctx, prog, mahjong.AbstractionOptions{Workers: workers})
 	}
 	f, err := os.Open(loadPath)
 	if err != nil {
@@ -137,7 +157,14 @@ func load(in, benchName string) (*mahjong.Program, error) {
 	}
 }
 
+// fail reports err and exits: code 2 when the error is exhaustion (a
+// budget overrun or an expired -timeout deadline), 1 otherwise.
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "mahjong:", err)
-	os.Exit(1)
+	if errors.Is(err, mahjong.ErrBudget) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled) {
+		os.Exit(exitExhausted)
+	}
+	os.Exit(exitFailure)
 }

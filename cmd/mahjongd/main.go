@@ -1,0 +1,67 @@
+// Command mahjongd runs the Mahjong analysis daemon: an HTTP/JSON
+// service that accepts program submissions (textual IR or built-in
+// benchmark names), analyzes them asynchronously on a bounded worker
+// pool with per-job deadlines, caches built heap abstractions by
+// program content hash, and serves client queries (points-to sets,
+// call graphs, may-fail casts, poly call sites) from completed jobs.
+//
+//	mahjongd -addr=:8080 -workers=4 -job-timeout=2m
+//
+// See docs/SERVER.md for the API reference and a curl quickstart.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mahjong/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 2, "analysis worker pool size")
+	queue := flag.Int("queue", 64, "max jobs waiting for a worker (full queue rejects with 503)")
+	cacheEntries := flag.Int("cache", 64, "abstraction cache capacity in programs (-1 = unbounded)")
+	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "default per-job deadline (0 = none)")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *jobTimeout,
+		CacheEntries:   *cacheEntries,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("mahjongd listening on %s (%d workers, job timeout %v)", *addr, *workers, *jobTimeout)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("mahjongd: received %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("mahjongd: shutdown: %v", err)
+		}
+		srv.Close()
+	case err := <-errc:
+		srv.Close()
+		fmt.Fprintln(os.Stderr, "mahjongd:", err)
+		os.Exit(1)
+	}
+}

@@ -13,6 +13,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -89,6 +91,22 @@ func (c Class) Size() int { return len(c.Members) }
 
 // Build runs Algorithm 1 on the FPG.
 func Build(g *fpg.Graph, opts Options) *Result {
+	res, err := BuildContext(context.Background(), g, opts)
+	if err != nil {
+		// Background contexts are never cancelled; any error is a bug.
+		panic(err)
+	}
+	return res
+}
+
+// BuildContext is Build with cancellation: both merge phases check ctx
+// (the parallel per-type workers between candidate objects), and a
+// cancelled or timed-out context aborts modeling with an error wrapping
+// context.Canceled or context.DeadlineExceeded.
+func BuildContext(ctx context.Context, g *fpg.Graph, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	workers := opts.Workers
 	if workers <= 0 {
@@ -123,6 +141,9 @@ func Build(g *fpg.Graph, opts Options) *Result {
 	pass := make([]bool, len(g.Objs))
 	sumStates := 0
 	for _, nodes := range groupList {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: heap modeling interrupted: %w", err)
+		}
 		for _, n := range nodes {
 			if u.SingleTypeOK(n) {
 				pass[n] = true
@@ -140,6 +161,9 @@ func Build(g *fpg.Graph, opts Options) *Result {
 	mergeGroup := func(nodes []int) {
 		var reps []int
 		for _, n := range nodes {
+			if ctx.Err() != nil {
+				return // partial merges stay sound; the caller discards them
+			}
 			if !pass[n] {
 				continue
 			}
@@ -178,12 +202,15 @@ func Build(g *fpg.Graph, opts Options) *Result {
 		close(work)
 		wg.Wait()
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: heap modeling interrupted: %w", err)
+	}
 
 	res := buildResult(g, uf, opts.Policy)
 	res.DFAStates = u.NumStates()
 	res.SumDFAStates = sumStates
 	res.Duration = time.Since(start)
-	return res
+	return res, nil
 }
 
 // equivalent tests automata equivalence of two objects, honoring the

@@ -1,0 +1,112 @@
+package pta
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"mahjong/internal/lang"
+)
+
+// bigProgram builds a program whose solve performs well over 4096 work
+// units (the solver's cancellation-check stride): allocs copies of many
+// objects down a long chain of variables.
+func bigProgram(t testing.TB) *lang.Program {
+	t.Helper()
+	p := lang.NewProgram()
+	a := p.NewClass("A", nil)
+	mainCls := p.NewClass("Main", nil)
+	m := mainCls.NewMethod("main", true, nil, nil)
+	const allocs, chain = 64, 256
+	v := m.NewVar("v0", a)
+	for i := 0; i < allocs; i++ {
+		m.AddAlloc(v, a)
+	}
+	prev := v
+	for i := 1; i <= chain; i++ {
+		next := m.NewVar(fmt.Sprintf("v%d", i), a)
+		m.AddCopy(next, prev)
+		prev = next
+	}
+	m.AddReturn(nil)
+	p.SetEntry(m)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("bigProgram invalid: %v", err)
+	}
+	return p
+}
+
+func TestSolveContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SolveContext(ctx, bigProgram(t), Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want wrapped context.Canceled, got %v", err)
+	}
+}
+
+func TestSolveContextExpiredDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := SolveContext(ctx, bigProgram(t), Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want wrapped context.DeadlineExceeded, got %v", err)
+	}
+}
+
+// flipCtx reports no error for its first two Err calls (the pre-run
+// check plus one in-loop check), then reports cancellation — a
+// deterministic stand-in for a context cancelled mid-solve.
+type flipCtx struct {
+	context.Context
+	calls int
+}
+
+func (c *flipCtx) Err() error {
+	c.calls++
+	if c.calls > 2 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestSolveContextMidRunCancellation(t *testing.T) {
+	prog := bigProgram(t)
+	fc := &flipCtx{Context: context.Background()}
+	_, err := SolveContext(fc, prog, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want wrapped context.Canceled mid-run, got %v", err)
+	}
+	if fc.calls <= 2 {
+		t.Fatalf("solver never reached the worklist-loop cancellation check (%d Err calls)", fc.calls)
+	}
+}
+
+func TestSolveContextBackgroundUnchanged(t *testing.T) {
+	prog := bigProgram(t)
+	want, err := Solve(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SolveContext(context.Background(), prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Work != want.Work || got.Aborted != want.Aborted {
+		t.Fatalf("SolveContext(Background) diverged: work %d vs %d", got.Work, want.Work)
+	}
+}
+
+// Budget semantics must survive the refactor: overruns still return a
+// partial result with Aborted=true and a nil error, not a ctx error.
+func TestSolveContextBudgetStillAborts(t *testing.T) {
+	r, err := SolveContext(context.Background(), bigProgram(t), Options{Budget: Budget{Work: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Aborted {
+		t.Fatal("want Aborted=true on budget overrun")
+	}
+}

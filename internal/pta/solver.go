@@ -1,6 +1,7 @@
 package pta
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -135,6 +136,7 @@ type solver struct {
 	work       int64
 	deadline   time.Time
 	hasTimeout bool
+	ctx        context.Context // nil when cancellation is not requested
 
 	worklist []int
 	queued   []bool
@@ -172,8 +174,23 @@ type Result struct {
 // A budget overrun returns a partial Result with Aborted=true and a nil
 // error; hard misconfigurations return an error.
 func Solve(prog *lang.Program, opts Options) (*Result, error) {
+	return SolveContext(context.Background(), prog, opts)
+}
+
+// SolveContext is Solve with cancellation: the worklist loop checks ctx
+// alongside the Budget, and a cancelled or timed-out context aborts the
+// run with an error wrapping context.Canceled or
+// context.DeadlineExceeded. Budget overruns keep Solve's semantics
+// (partial Result, Aborted=true, nil error).
+func SolveContext(ctx context.Context, prog *lang.Program, opts Options) (*Result, error) {
 	if prog.Entry == nil {
 		return nil, errors.New("pta: program has no entry method")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pta: analysis not started: %w", err)
 	}
 	if opts.Heap == nil {
 		opts.Heap = NewAllocSiteModel()
@@ -198,12 +215,18 @@ func Solve(prog *lang.Program, opts Options) (*Result, error) {
 		virtSeen:    make(map[virtKey]bool),
 	}
 	s.emptyHeap = s.ctxt.Empty()
+	if ctx != context.Background() {
+		s.ctx = ctx
+	}
 	start := time.Now()
 	if opts.Budget.Time > 0 {
 		s.deadline = start.Add(opts.Budget.Time)
 		s.hasTimeout = true
 	}
-	aborted := s.run()
+	aborted, cancelled := s.run()
+	if cancelled {
+		return nil, fmt.Errorf("pta: analysis interrupted after %d work units: %w", s.work, ctx.Err())
+	}
 	return &Result{
 		Prog:     prog,
 		Opts:     opts,
@@ -214,16 +237,21 @@ func Solve(prog *lang.Program, opts Options) (*Result, error) {
 	}, nil
 }
 
-// run executes the worklist loop; returns true when aborted on budget.
-func (s *solver) run() (aborted bool) {
+// run executes the worklist loop; aborted reports a budget overrun,
+// cancelled a context cancellation.
+func (s *solver) run() (aborted, cancelled bool) {
 	defer func() {
 		// chargeWork unwinds deep processing chains via panic when the
-		// budget runs out; anything else is a real bug and is re-raised.
-		if r := recover(); r != nil {
-			if r != errBudgetSentinel {
-				panic(r)
-			}
+		// budget runs out or the context is cancelled; anything else is a
+		// real bug and is re-raised.
+		switch r := recover(); r {
+		case nil:
+		case errBudgetSentinel:
 			aborted = true
+		case errCancelSentinel:
+			cancelled = true
+		default:
+			panic(r)
 		}
 	}()
 	s.makeReachable(s.ctxt.Empty(), s.prog.Entry)
@@ -245,18 +273,26 @@ func (s *solver) run() (aborted bool) {
 			s.processVarDelta(n.info, delta)
 		}
 	}
-	return false
+	return false, false
 }
 
-var errBudgetSentinel = new(int)
+var (
+	errBudgetSentinel = new(int)
+	errCancelSentinel = new(int)
+)
 
 func (s *solver) chargeWork(units int64) {
 	s.work += units
 	if s.opts.Budget.Work > 0 && s.work > s.opts.Budget.Work {
 		panic(errBudgetSentinel)
 	}
-	if s.hasTimeout && s.work%4096 < units && time.Now().After(s.deadline) {
-		panic(errBudgetSentinel)
+	if s.work%4096 < units { // periodic checks, amortized over ~4096 units
+		if s.hasTimeout && time.Now().After(s.deadline) {
+			panic(errBudgetSentinel)
+		}
+		if s.ctx != nil && s.ctx.Err() != nil {
+			panic(errCancelSentinel)
+		}
 	}
 }
 

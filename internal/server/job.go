@@ -1,0 +1,198 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"mahjong"
+)
+
+// JobState is the lifecycle state of a submitted analysis job.
+type JobState string
+
+const (
+	// StateQueued: accepted, waiting for a worker.
+	StateQueued JobState = "queued"
+	// StateRunning: executing on the worker pool.
+	StateRunning JobState = "running"
+	// StateDone: finished; query endpoints serve its results.
+	StateDone JobState = "done"
+	// StateFailed: ended in an error (bad analysis config, solver error).
+	StateFailed JobState = "failed"
+	// StateCancelled: stopped by its deadline or an explicit cancel.
+	StateCancelled JobState = "cancelled"
+)
+
+// JobSpec is the JSON body of POST /jobs. Exactly one of IR and
+// Benchmark selects the program.
+type JobSpec struct {
+	// IR is a whole program in the textual IR format.
+	IR string `json:"ir,omitempty"`
+	// Benchmark names a built-in benchmark ("pmd", "luindex", …).
+	Benchmark string `json:"benchmark,omitempty"`
+	// Analysis selects the sensitivity ("ci", "2obj", …); default "ci".
+	Analysis string `json:"analysis,omitempty"`
+	// Heap selects the abstraction; default "mahjong".
+	Heap string `json:"heap,omitempty"`
+	// BudgetWork caps propagation work (0 = unlimited).
+	BudgetWork int64 `json:"budget_work,omitempty"`
+	// TimeoutMS is the per-job deadline in milliseconds; 0 uses the
+	// server default. The deadline covers the whole pipeline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// job is one submission. The mutex guards the mutable state; results
+// are written once before the state moves to a terminal value and are
+// only read by handlers after observing that state.
+type job struct {
+	id      string
+	spec    JobSpec
+	created time.Time
+
+	mu       sync.Mutex
+	state    JobState
+	errMsg   string
+	cacheHit bool
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc // non-nil while running
+
+	prog *mahjong.Program
+	abs  *mahjong.Abstraction
+	rep  *mahjong.Report
+}
+
+// view is the JSON rendering of a job's status.
+type view struct {
+	ID        string   `json:"id"`
+	State     JobState `json:"state"`
+	Error     string   `json:"error,omitempty"`
+	Benchmark string   `json:"benchmark,omitempty"`
+	Analysis  string   `json:"analysis"`
+	Heap      string   `json:"heap"`
+	CacheHit  bool     `json:"abstraction_cache_hit"`
+	Created   string   `json:"created"`
+	Started   string   `json:"started,omitempty"`
+	Finished  string   `json:"finished,omitempty"`
+
+	Result *resultView `json:"result,omitempty"`
+}
+
+// resultView summarizes a completed job.
+type resultView struct {
+	Scalable       bool    `json:"scalable"`
+	TimeMS         int64   `json:"time_ms"`
+	Work           int64   `json:"work"`
+	CSObjects      int     `json:"cs_objects"`
+	CSMethods      int     `json:"cs_methods"`
+	CallGraphEdges int     `json:"call_graph_edges"`
+	PolyCallSites  int     `json:"poly_call_sites"`
+	MayFailCasts   int     `json:"may_fail_casts"`
+	Reachable      int     `json:"reachable_methods"`
+	Objects        int     `json:"objects,omitempty"`
+	MergedObjects  int     `json:"merged_objects,omitempty"`
+	Reduction      float64 `json:"reduction,omitempty"`
+}
+
+func (j *job) view() view {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := view{
+		ID:        j.id,
+		State:     j.state,
+		Error:     j.errMsg,
+		Benchmark: j.spec.Benchmark,
+		Analysis:  defaulted(j.spec.Analysis, "ci"),
+		Heap:      defaulted(j.spec.Heap, string(mahjong.HeapMahjong)),
+		CacheHit:  j.cacheHit,
+		Created:   j.created.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.started.IsZero() {
+		v.Started = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		v.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	if j.state == StateDone && j.rep != nil {
+		rv := &resultView{
+			Scalable:       j.rep.Scalable,
+			TimeMS:         j.rep.Time.Milliseconds(),
+			Work:           j.rep.Work,
+			CSObjects:      j.rep.CSObjects,
+			CSMethods:      j.rep.CSMethods,
+			CallGraphEdges: j.rep.Metrics.CallGraphEdges,
+			PolyCallSites:  j.rep.Metrics.PolyCallSites,
+			MayFailCasts:   j.rep.Metrics.MayFailCasts,
+			Reachable:      j.rep.Metrics.Reachable,
+		}
+		if j.abs != nil {
+			rv.Objects = j.abs.Objects
+			rv.MergedObjects = j.abs.MergedObjects
+			rv.Reduction = j.abs.Reduction()
+		}
+		v.Result = rv
+	}
+	return v
+}
+
+// ready returns the completed report and program, or an error naming
+// the job's current (non-done) state.
+func (j *job) ready() (*mahjong.Report, *mahjong.Program, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil, nil, fmt.Errorf("job %s is %s, not done", j.id, j.state)
+	}
+	return j.rep, j.prog, nil
+}
+
+func defaulted(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// jobStore indexes jobs by ID in submission order.
+type jobStore struct {
+	mu   sync.Mutex
+	seq  int
+	byID map[string]*job
+	all  []*job
+}
+
+func newJobStore() *jobStore {
+	return &jobStore{byID: make(map[string]*job)}
+}
+
+func (s *jobStore) add(spec JobSpec, prog *mahjong.Program) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j := &job{
+		id:      fmt.Sprintf("j%d", s.seq),
+		spec:    spec,
+		created: time.Now(),
+		state:   StateQueued,
+		prog:    prog,
+	}
+	s.byID[j.id] = j
+	s.all = append(s.all, j)
+	return j
+}
+
+func (s *jobStore) get(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byID[id]
+}
+
+func (s *jobStore) list() []*job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*job, len(s.all))
+	copy(out, s.all)
+	return out
+}

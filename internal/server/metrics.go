@@ -1,0 +1,98 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the daemon's counters. All fields are atomics so that
+// workers, handlers, and the cache update them without a shared lock.
+type metrics struct {
+	jobsSubmitted atomic.Int64
+	jobsCompleted atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCancelled atomic.Int64
+	jobsRejected  atomic.Int64 // queue-full 503s
+	jobsRunning   atomic.Int64
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	solverWork atomic.Int64 // propagation units across all main analyses
+	preNS      atomic.Int64 // pre-analysis time, abstraction builds only
+	fpgNS      atomic.Int64 // FPG construction time
+	mergeNS    atomic.Int64 // heap-modeling (merge) time
+	analysisNS atomic.Int64 // main-analysis wall time
+}
+
+// MetricsSnapshot is the JSON form of /metrics?format=json.
+type MetricsSnapshot struct {
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	JobsCompleted int64 `json:"jobs_completed"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	JobsCancelled int64 `json:"jobs_cancelled"`
+	JobsRejected  int64 `json:"jobs_rejected"`
+	JobsRunning   int64 `json:"jobs_running"`
+	JobsQueued    int64 `json:"jobs_queued"`
+
+	CacheHits    int64 `json:"abstraction_cache_hits"`
+	CacheMisses  int64 `json:"abstraction_cache_misses"`
+	CacheEntries int64 `json:"abstraction_cache_entries"`
+
+	SolverWork     int64 `json:"solver_work_units"`
+	PreAnalysisMS  int64 `json:"pre_analysis_ms"`
+	FPGBuildMS     int64 `json:"fpg_build_ms"`
+	HeapModelingMS int64 `json:"heap_modeling_ms"`
+	AnalysisMS     int64 `json:"analysis_ms"`
+}
+
+func (m *metrics) snapshot(queued, cacheEntries int) MetricsSnapshot {
+	ms := func(ns int64) int64 { return ns / int64(time.Millisecond) }
+	return MetricsSnapshot{
+		JobsSubmitted: m.jobsSubmitted.Load(),
+		JobsCompleted: m.jobsCompleted.Load(),
+		JobsFailed:    m.jobsFailed.Load(),
+		JobsCancelled: m.jobsCancelled.Load(),
+		JobsRejected:  m.jobsRejected.Load(),
+		JobsRunning:   m.jobsRunning.Load(),
+		JobsQueued:    int64(queued),
+
+		CacheHits:    m.cacheHits.Load(),
+		CacheMisses:  m.cacheMisses.Load(),
+		CacheEntries: int64(cacheEntries),
+
+		SolverWork:     m.solverWork.Load(),
+		PreAnalysisMS:  ms(m.preNS.Load()),
+		FPGBuildMS:     ms(m.fpgNS.Load()),
+		HeapModelingMS: ms(m.mergeNS.Load()),
+		AnalysisMS:     ms(m.analysisNS.Load()),
+	}
+}
+
+// writeProm renders the snapshot in the Prometheus text exposition
+// format (counters and gauges only; no dependency on a client library).
+func writeProm(w io.Writer, s MetricsSnapshot) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("mahjongd_jobs_submitted_total", "Jobs accepted for execution.", s.JobsSubmitted)
+	counter("mahjongd_jobs_completed_total", "Jobs that finished successfully.", s.JobsCompleted)
+	counter("mahjongd_jobs_failed_total", "Jobs that ended in an error.", s.JobsFailed)
+	counter("mahjongd_jobs_cancelled_total", "Jobs stopped by deadline or explicit cancel.", s.JobsCancelled)
+	counter("mahjongd_jobs_rejected_total", "Submissions rejected because the queue was full.", s.JobsRejected)
+	gauge("mahjongd_jobs_running", "Jobs currently executing on the worker pool.", s.JobsRunning)
+	gauge("mahjongd_jobs_queued", "Jobs waiting for a worker.", s.JobsQueued)
+	counter("mahjongd_abstraction_cache_hits_total", "Abstraction builds skipped via the cache.", s.CacheHits)
+	counter("mahjongd_abstraction_cache_misses_total", "Abstraction builds performed and cached.", s.CacheMisses)
+	gauge("mahjongd_abstraction_cache_entries", "Abstractions currently cached.", s.CacheEntries)
+	counter("mahjongd_solver_work_units_total", "Points-to propagation work across main analyses.", s.SolverWork)
+	counter("mahjongd_pre_analysis_milliseconds_total", "Time spent in context-insensitive pre-analyses.", s.PreAnalysisMS)
+	counter("mahjongd_fpg_build_milliseconds_total", "Time spent building field points-to graphs.", s.FPGBuildMS)
+	counter("mahjongd_heap_modeling_milliseconds_total", "Time spent merging equivalent automata.", s.HeapModelingMS)
+	counter("mahjongd_analysis_milliseconds_total", "Time spent in main points-to analyses.", s.AnalysisMS)
+}

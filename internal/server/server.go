@@ -1,0 +1,552 @@
+// Package server implements mahjongd: a long-running analysis service
+// wrapping the Mahjong pipeline. Programs (textual IR or built-in
+// benchmark names) are submitted as asynchronous jobs, executed on a
+// bounded worker pool under per-job deadlines (context cancellation is
+// threaded down to the solver worklist and the parallel merge workers),
+// and their results — points-to sets, call graphs, may-fail casts, poly
+// call sites — are served from completed jobs. Built abstractions are
+// cached by content hash of the canonical IR, so repeated analyses of
+// the same program skip the pre-analysis + merge entirely.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"slices"
+	"sync"
+	"time"
+
+	"mahjong"
+	"mahjong/internal/clients"
+	"mahjong/internal/export"
+	"mahjong/internal/lang"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers is the worker-pool size; 0 = 2.
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker; a full queue rejects
+	// submissions with 503. 0 = 64.
+	QueueDepth int
+	// DefaultTimeout is the per-job deadline applied when a submission
+	// does not set timeout_ms; 0 = no deadline.
+	DefaultTimeout time.Duration
+	// CacheEntries caps the abstraction cache; 0 = 64, negative = unbounded.
+	CacheEntries int
+}
+
+// Server is the analysis daemon. It implements http.Handler; create
+// one with New and release its workers with Close.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	store   *jobStore
+	queue   chan *job
+	cache   *absCache
+	metrics *metrics
+	quit    chan struct{}
+	stop    func()
+	done    chan struct{}
+}
+
+// New returns a Server with its worker pool started.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	cacheCap := cfg.CacheEntries
+	if cacheCap == 0 {
+		cacheCap = 64
+	}
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		store:   newJobStore(),
+		queue:   make(chan *job, cfg.QueueDepth),
+		cache:   newAbsCache(cacheCap),
+		metrics: &metrics{},
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	s.routes()
+	workerDone := make(chan struct{})
+	running := cfg.Workers
+	for i := 0; i < cfg.Workers; i++ {
+		go func() {
+			s.worker()
+			workerDone <- struct{}{}
+		}()
+	}
+	go func() {
+		for ; running > 0; running-- {
+			<-workerDone
+		}
+		close(s.done)
+	}()
+	var closeOnce sync.Once
+	s.stop = func() { closeOnce.Do(func() { close(s.quit) }) }
+	return s
+}
+
+// Close stops the worker pool after in-flight jobs finish; queued jobs
+// are abandoned in state "queued".
+func (s *Server) Close() {
+	s.stop()
+	<-s.done
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /jobs/{id}/pointsto", s.handlePointsTo)
+	s.mux.HandleFunc("GET /jobs/{id}/callgraph", s.handleCallGraph)
+	s.mux.HandleFunc("GET /jobs/{id}/casts", s.handleCasts)
+	s.mux.HandleFunc("GET /jobs/{id}/polycalls", s.handlePolyCalls)
+	s.mux.HandleFunc("GET /jobs/{id}/abstraction", s.handleAbstraction)
+}
+
+// ---- submission ----
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	var prog *mahjong.Program
+	switch {
+	case spec.IR != "" && spec.Benchmark != "":
+		httpError(w, http.StatusBadRequest, "set either ir or benchmark, not both")
+		return
+	case spec.IR == "" && spec.Benchmark == "":
+		httpError(w, http.StatusBadRequest, "missing program: set ir or benchmark (available: %v)", mahjong.BenchmarkNames())
+		return
+	case spec.IR != "":
+		p, err := mahjong.ParseProgram("submission", spec.IR)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "invalid IR: %v", err)
+			return
+		}
+		prog = p
+	default:
+		if !slices.Contains(mahjong.BenchmarkNames(), spec.Benchmark) {
+			httpError(w, http.StatusBadRequest, "unknown benchmark %q (available: %v)", spec.Benchmark, mahjong.BenchmarkNames())
+			return
+		}
+	}
+	if !mahjong.ValidAnalysis(spec.Analysis) {
+		httpError(w, http.StatusBadRequest, "unknown analysis %q", spec.Analysis)
+		return
+	}
+	switch mahjong.HeapKind(defaulted(spec.Heap, string(mahjong.HeapMahjong))) {
+	case mahjong.HeapAllocSite, mahjong.HeapAllocType, mahjong.HeapMahjong:
+	default:
+		httpError(w, http.StatusBadRequest, "unknown heap kind %q", spec.Heap)
+		return
+	}
+	if spec.TimeoutMS < 0 || spec.BudgetWork < 0 {
+		httpError(w, http.StatusBadRequest, "timeout_ms and budget_work must be non-negative")
+		return
+	}
+
+	j := s.store.add(spec, prog)
+	select {
+	case s.queue <- j:
+	default:
+		s.metrics.jobsRejected.Add(1)
+		httpError(w, http.StatusServiceUnavailable, "job queue full (%d pending)", s.cfg.QueueDepth)
+		return
+	}
+	s.metrics.jobsSubmitted.Add(1)
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+// ---- worker pool ----
+
+func (s *Server) worker() {
+	for {
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	j.mu.Lock()
+	if j.state != StateQueued { // cancelled while waiting
+		j.mu.Unlock()
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if j.spec.TimeoutMS > 0 {
+		timeout = time.Duration(j.spec.TimeoutMS) * time.Millisecond
+	}
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+	defer cancel()
+
+	s.metrics.jobsRunning.Add(1)
+	err := s.execute(ctx, j)
+	s.metrics.jobsRunning.Add(-1)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.state = StateDone
+		s.metrics.jobsCompleted.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCancelled
+		j.errMsg = err.Error()
+		s.metrics.jobsCancelled.Add(1)
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		s.metrics.jobsFailed.Add(1)
+	}
+}
+
+// execute runs the job's pipeline under ctx and stores results on j.
+// Writes to j.prog/abs/rep happen-before the terminal state transition
+// in runJob, which is what status handlers synchronize on.
+func (s *Server) execute(ctx context.Context, j *job) error {
+	prog := j.prog
+	if prog == nil {
+		p, err := mahjong.GenerateBenchmark(j.spec.Benchmark)
+		if err != nil {
+			return err
+		}
+		prog = p
+		j.mu.Lock()
+		j.prog = p
+		j.mu.Unlock()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	cfg := mahjong.Config{
+		Analysis:   j.spec.Analysis,
+		Heap:       mahjong.HeapKind(defaulted(j.spec.Heap, string(mahjong.HeapMahjong))),
+		BudgetWork: j.spec.BudgetWork,
+	}
+	if cfg.Heap == mahjong.HeapMahjong {
+		abs, hit, err := s.abstractionFor(ctx, prog)
+		if err != nil {
+			return err
+		}
+		cfg.Abstraction = abs
+		j.mu.Lock()
+		j.abs = abs
+		j.cacheHit = hit
+		j.mu.Unlock()
+	}
+
+	rep, err := mahjong.AnalyzeContext(ctx, prog, cfg)
+	if err != nil {
+		return err
+	}
+	s.metrics.solverWork.Add(rep.Work)
+	s.metrics.analysisNS.Add(rep.Time.Nanoseconds())
+	j.mu.Lock()
+	j.rep = rep
+	j.mu.Unlock()
+	return nil
+}
+
+// abstractionFor returns prog's Mahjong abstraction, via the cache when
+// an identical program (by canonical-IR content hash) was built before.
+// Cache hits rebind the persisted equivalence classes to prog's own
+// allocation sites through the core persistence layer.
+func (s *Server) abstractionFor(ctx context.Context, prog *mahjong.Program) (*mahjong.Abstraction, bool, error) {
+	key := cacheKey(mahjong.PrintProgram(prog))
+	var built *mahjong.Abstraction
+	data, hit, err := s.cache.getOrFill(ctx, key, func() ([]byte, error) {
+		abs, err := mahjong.BuildAbstractionContext(ctx, prog, mahjong.AbstractionOptions{})
+		if err != nil {
+			return nil, err
+		}
+		s.metrics.preNS.Add(abs.PreTime.Nanoseconds())
+		s.metrics.fpgNS.Add(abs.FPGTime.Nanoseconds())
+		s.metrics.mergeNS.Add(abs.ModelTime.Nanoseconds())
+		var buf bytes.Buffer
+		if err := abs.Save(&buf); err != nil {
+			return nil, err
+		}
+		built = abs
+		return buf.Bytes(), nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if !hit && built != nil {
+		s.metrics.cacheMisses.Add(1)
+		return built, false, nil
+	}
+	s.metrics.cacheHits.Add(1)
+	abs, err := mahjong.LoadAbstraction(bytes.NewReader(data), prog)
+	if err != nil {
+		return nil, false, fmt.Errorf("rebinding cached abstraction: %w", err)
+	}
+	return abs, true, nil
+}
+
+// ---- status and control ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.snapshot(len(s.queue), s.cache.len())
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	writeProm(w, snap)
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.store.list()
+	views := make([]view, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.view()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.store.get(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.store.get(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.errMsg = "cancelled before execution"
+		j.finished = time.Now()
+		s.metrics.jobsCancelled.Add(1)
+	case StateRunning:
+		j.cancel() // the worker records the terminal state
+	default:
+		state := j.state
+		j.mu.Unlock()
+		httpError(w, http.StatusConflict, "job %s already %s", j.id, state)
+		return
+	}
+	j.mu.Unlock()
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+// ---- queries against completed jobs ----
+
+// completedJob resolves {id} to a done job or writes the error (404 for
+// unknown IDs, 409 for jobs not yet — or never — completing).
+func (s *Server) completedJob(w http.ResponseWriter, r *http.Request) *job {
+	j := s.store.get(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return nil
+	}
+	if _, _, err := j.ready(); err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return nil
+	}
+	return j
+}
+
+func (s *Server) handlePointsTo(w http.ResponseWriter, r *http.Request) {
+	j := s.completedJob(w, r)
+	if j == nil {
+		return
+	}
+	rep, prog, _ := j.ready()
+	spec := r.URL.Query().Get("var")
+	if spec == "" {
+		httpError(w, http.StatusBadRequest, "missing ?var= (format: Class.method/arity#name)")
+		return
+	}
+	v := findVar(prog, spec)
+	if v == nil {
+		httpError(w, http.StatusNotFound, "no variable %q in the analyzed program", spec)
+		return
+	}
+	type objJSON struct {
+		Label  string `json:"label"`
+		Type   string `json:"type"`
+		Merged bool   `json:"merged"`
+	}
+	res := rep.Result()
+	objs := res.VarObjs(v)
+	out := struct {
+		Var     string    `json:"var"`
+		Objects []objJSON `json:"objects"`
+		Types   []string  `json:"types"`
+	}{Var: v.String(), Objects: []objJSON{}}
+	for _, o := range objs {
+		out.Objects = append(out.Objects, objJSON{Label: o.String(), Type: o.Type.Name, Merged: o.Merged})
+	}
+	for _, t := range res.VarTypes(v) {
+		out.Types = append(out.Types, t.Name)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCallGraph(w http.ResponseWriter, r *http.Request) {
+	j := s.completedJob(w, r)
+	if j == nil {
+		return
+	}
+	rep, _, _ := j.ready()
+	switch format := r.URL.Query().Get("format"); format {
+	case "dot":
+		w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
+		if err := export.CallGraphDOT(w, rep.Result()); err != nil {
+			httpError(w, http.StatusInternalServerError, "exporting call graph: %v", err)
+		}
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		if err := export.CallGraphJSON(w, rep.Result()); err != nil {
+			httpError(w, http.StatusInternalServerError, "exporting call graph: %v", err)
+		}
+	default:
+		httpError(w, http.StatusBadRequest, "unknown format %q (want json or dot)", format)
+	}
+}
+
+func (s *Server) handleCasts(w http.ResponseWriter, r *http.Request) {
+	j := s.completedJob(w, r)
+	if j == nil {
+		return
+	}
+	rep, _, _ := j.ready()
+	type castJSON struct {
+		Method string `json:"method"`
+		Stmt   string `json:"stmt"`
+		Target string `json:"target"`
+	}
+	out := struct {
+		MayFailCasts []castJSON `json:"may_fail_casts"`
+	}{MayFailCasts: []castJSON{}}
+	for _, c := range clients.MayFailCasts(rep.Result()) {
+		out.MayFailCasts = append(out.MayFailCasts, castJSON{
+			Method: c.LHS.Method.String(),
+			Stmt:   c.String(),
+			Target: c.Type.Name,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handlePolyCalls(w http.ResponseWriter, r *http.Request) {
+	j := s.completedJob(w, r)
+	if j == nil {
+		return
+	}
+	rep, _, _ := j.ready()
+	type siteJSON struct {
+		Site    string   `json:"site"`
+		Stmt    string   `json:"stmt"`
+		Targets []string `json:"targets"`
+	}
+	res := rep.Result()
+	out := struct {
+		PolyCallSites []siteJSON `json:"poly_call_sites"`
+	}{PolyCallSites: []siteJSON{}}
+	for _, inv := range clients.PolyCallSites(res) {
+		sj := siteJSON{Site: inv.Label(), Stmt: inv.String()}
+		for _, m := range res.CallTargets(inv) {
+			sj.Targets = append(sj.Targets, m.String())
+		}
+		out.PolyCallSites = append(out.PolyCallSites, sj)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleAbstraction(w http.ResponseWriter, r *http.Request) {
+	j := s.completedJob(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	abs := j.abs
+	j.mu.Unlock()
+	if abs == nil {
+		httpError(w, http.StatusNotFound, "job %s did not build a Mahjong abstraction (heap=%s)",
+			j.id, defaulted(j.spec.Heap, string(mahjong.HeapMahjong)))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := abs.Save(w); err != nil {
+		httpError(w, http.StatusInternalServerError, "persisting abstraction: %v", err)
+	}
+}
+
+// findVar resolves "Class.method/arity#name" against the program.
+func findVar(prog *mahjong.Program, spec string) *lang.Var {
+	for _, m := range prog.Methods {
+		for _, v := range m.Locals {
+			if v.String() == spec {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// ---- plumbing ----
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best effort; client may have gone away
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -25,6 +25,7 @@
 package mahjong
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -163,17 +164,29 @@ func LoadAbstraction(r io.Reader, prog *Program) (*Abstraction, error) {
 // SizeHistogram returns (class size, #classes) pairs (Figure 9).
 func (a *Abstraction) SizeHistogram() [][2]int { return a.res.SizeHistogram() }
 
+// ErrBudget is returned (wrapped) when a pipeline stage exhausts its
+// deterministic work budget; test with errors.Is.
+var ErrBudget = pta.ErrBudget
+
 // BuildAbstraction runs the Mahjong pipeline of Figure 5: the fast
 // context-insensitive pre-analysis, FPG construction, and the heap
 // modeler (Algorithm 1).
 func BuildAbstraction(p *Program, opts AbstractionOptions) (*Abstraction, error) {
+	return BuildAbstractionContext(context.Background(), p, opts)
+}
+
+// BuildAbstractionContext is BuildAbstraction with cancellation: every
+// pipeline stage (pre-analysis solver, parallel merge workers) checks
+// ctx, and a cancelled or timed-out context aborts with an error
+// wrapping context.Canceled or context.DeadlineExceeded.
+func BuildAbstractionContext(ctx context.Context, p *Program, opts AbstractionOptions) (*Abstraction, error) {
 	t0 := time.Now()
-	pre, err := pta.Solve(p, pta.Options{Budget: pta.Budget{Work: opts.PreBudget}})
+	pre, err := pta.SolveContext(ctx, p, pta.Options{Budget: pta.Budget{Work: opts.PreBudget}})
 	if err != nil {
 		return nil, fmt.Errorf("mahjong: pre-analysis: %w", err)
 	}
 	if pre.Aborted {
-		return nil, fmt.Errorf("mahjong: pre-analysis exceeded budget")
+		return nil, fmt.Errorf("mahjong: pre-analysis: %w", ErrBudget)
 	}
 	preTime := time.Since(t0)
 
@@ -185,11 +198,14 @@ func BuildAbstraction(p *Program, opts AbstractionOptions) (*Abstraction, error)
 	if opts.TypeDiverseReps {
 		policy = core.RepTypeDiverse
 	}
-	res := core.Build(g, core.Options{
+	res, err := core.BuildContext(ctx, g, core.Options{
 		Workers:        opts.Workers,
 		Policy:         policy,
 		DisableSharing: opts.DisableSharedAutomata,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("mahjong: heap modeling: %w", err)
+	}
 	merged := 0
 	for _, c := range res.Classes {
 		if c.Size() >= 2 {
@@ -246,6 +262,15 @@ func (r *Report) Result() *pta.Result { return r.result }
 // Analyze runs a points-to analysis with the three type-dependent
 // clients on top.
 func Analyze(p *Program, cfg Config) (*Report, error) {
+	return AnalyzeContext(context.Background(), p, cfg)
+}
+
+// AnalyzeContext is Analyze with cancellation: the solver's worklist
+// loop checks ctx alongside its Budget, and a cancelled or timed-out
+// context aborts the run with an error wrapping context.Canceled or
+// context.DeadlineExceeded (budget overruns still return a Report with
+// Scalable=false and a nil error).
+func AnalyzeContext(ctx context.Context, p *Program, cfg Config) (*Report, error) {
 	sel, err := selectorFor(cfg.Analysis)
 	if err != nil {
 		return nil, err
@@ -264,7 +289,7 @@ func Analyze(p *Program, cfg Config) (*Report, error) {
 	default:
 		return nil, fmt.Errorf("mahjong: unknown heap kind %q", cfg.Heap)
 	}
-	r, err := pta.Solve(p, pta.Options{
+	r, err := pta.SolveContext(ctx, p, pta.Options{
 		Selector: sel,
 		Heap:     heap,
 		Budget:   pta.Budget{Work: cfg.BudgetWork, Time: cfg.BudgetTime},
@@ -284,6 +309,13 @@ func Analyze(p *Program, cfg Config) (*Report, error) {
 		rep.Metrics = clients.Evaluate(r)
 	}
 	return rep, nil
+}
+
+// ValidAnalysis reports whether name is accepted by Config.Analysis
+// ("", "ci", or any k-prefixed cs/obj/type sensitivity).
+func ValidAnalysis(name string) bool {
+	_, err := selectorFor(name)
+	return err == nil
 }
 
 func selectorFor(name string) (pta.Selector, error) {
