@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint serve race clean
+.PHONY: build test lint serve race clean bench bench-save slowcheck
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,17 @@ lint:
 
 serve: ## run the analysis daemon on :8080
 	$(GO) run ./cmd/mahjongd -addr=:8080
+
+bench: ## solver benchmarks, quick single-iteration pass
+	$(GO) test -run '^$$' -bench 'PreAnalysis|Table2' -benchtime=1x -benchmem .
+
+bench-save: ## record solver benchmark numbers in BENCH_solver.json
+	$(GO) test -run '^$$' -bench 'PreAnalysis|Table2' -benchtime=1x -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_solver.json
+	@echo wrote BENCH_solver.json
+
+slowcheck: ## optimized-vs-naive solver A/B over every benchmark program
+	MAHJONG_SLOWCHECK=1 $(GO) test ./internal/bench -run SolverEquivalence -v
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,109 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON document keyed by benchmark name, for checking performance
+// numbers into the repository (see `make bench-save`):
+//
+//	go test -run '^$' -bench PreAnalysis -benchtime=1x -benchmem . | benchjson -o BENCH_solver.json
+//
+// Each entry records ns/op and, when -benchmem was given, B/op and
+// allocs/op. Non-benchmark lines are ignored, so the full `go test`
+// output can be piped in unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result.
+type Entry struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  int64   `json:"b_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_op,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	results := map[string]Entry{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, e, ok := parseLine(sc.Text())
+		if ok {
+			results[name] = e
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parseLine extracts one benchmark result from a line of `go test`
+// output. The format is
+//
+//	Benchmark<Name>[-P]  <iters>  <ns> ns/op  [<bytes> B/op  <allocs> allocs/op]
+//
+// with arbitrary extra "<value> <unit>" pairs permitted.
+func parseLine(line string) (string, Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Entry{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the -GOMAXPROCS suffix.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Entry{}, false
+	}
+	e := Entry{Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Entry{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			e.NsPerOp = v
+			seen = true
+		case "B/op":
+			e.BytesPerOp = int64(v)
+		case "allocs/op":
+			e.AllocsPerOp = int64(v)
+		}
+	}
+	return name, e, seen
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

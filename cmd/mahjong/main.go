@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"mahjong"
 	"mahjong/internal/export"
@@ -41,7 +43,35 @@ func main() {
 	saveAbs := flag.String("save-abstraction", "", "write the built Mahjong abstraction to this JSON file")
 	loadAbs := flag.String("load-abstraction", "", "reuse a previously saved abstraction instead of rebuilding it")
 	timeout := flag.Duration("timeout", 0, "wall-clock deadline for the whole run, e.g. 30s (0 = none)")
+	stats := flag.Bool("stats", false, "print solver performance counters after the analysis")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC() // flush recently-freed objects out of the profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}()
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -92,12 +122,18 @@ func main() {
 	}
 	if !rep.Scalable {
 		fmt.Printf("%s/%s: UNSCALABLE within budget (%d work units)\n", *analysis, *heap, rep.Work)
+		if *stats {
+			printSolverStats(rep)
+		}
 		os.Exit(exitExhausted)
 	}
 	fmt.Printf("%s/%s: %v, %d work units, %d cs-objects, %d cs-methods\n",
 		*analysis, *heap, rep.Time.Round(1e5), rep.Work, rep.CSObjects, rep.CSMethods)
 	fmt.Printf("clients: %d call-graph edges, %d poly call sites, %d may-fail casts, %d reachable methods\n",
 		rep.Metrics.CallGraphEdges, rep.Metrics.PolyCallSites, rep.Metrics.MayFailCasts, rep.Metrics.Reachable)
+	if *stats {
+		printSolverStats(rep)
+	}
 
 	if *cgOut != "" {
 		if err := writeCallGraph(*cgOut, rep); err != nil {
@@ -105,6 +141,18 @@ func main() {
 		}
 		fmt.Println("call graph written to", *cgOut)
 	}
+}
+
+// printSolverStats dumps the solver's internal performance counters
+// (-stats).
+func printSolverStats(rep *mahjong.Report) {
+	s := rep.Solver
+	fmt.Printf("solver: %d nodes, %d edges (%d copy), worklist peak %d\n",
+		s.Nodes, s.Edges, s.CopyEdges, s.WorklistPeak)
+	fmt.Printf("solver: %d propagated facts, %d copy cycles collapsed (%d nodes folded, %d passes)\n",
+		s.PropagatedBits, s.CollapsedSCCs, s.CollapsedNodes, s.SCCPasses)
+	fmt.Printf("solver: %d filter masks built, %d mask-filtered propagations\n",
+		s.FilterMasks, s.FilterMaskHits)
 }
 
 // writeCallGraph exports the call graph in the format implied by the

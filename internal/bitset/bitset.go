@@ -147,6 +147,82 @@ func (s *Set) UnionDiff(src *Set) *Set {
 	return diff
 }
 
+// UnionInto unions src into s like UnionDiff, but instead of allocating
+// a fresh difference set it adds the newly inserted bits to diff (which
+// must be non-nil) and returns how many bits were added. It is the
+// allocation-free propagation primitive of the points-to solver: the
+// destination's pending delta doubles as the diff accumulator.
+func (s *Set) UnionInto(src, diff *Set) int {
+	if src == nil || src.count == 0 {
+		return 0
+	}
+	s.grow(len(src.words) - 1)
+	added := 0
+	for i, w := range src.words {
+		add := w &^ s.words[i]
+		if add == 0 {
+			continue
+		}
+		s.words[i] |= add
+		diff.grow(i)
+		old := diff.words[i]
+		diff.words[i] = old | add
+		diff.count += bits.OnesCount64(old|add) - bits.OnesCount64(old)
+		added += bits.OnesCount64(add)
+	}
+	s.count += added
+	return added
+}
+
+// AndWith intersects s with other in place (s &= other) and reports
+// whether s changed. A nil other clears s.
+func (s *Set) AndWith(other *Set) bool {
+	if s.count == 0 {
+		return false
+	}
+	if other == nil {
+		s.Clear()
+		return true
+	}
+	changed := false
+	for i, w := range s.words {
+		var ow uint64
+		if i < len(other.words) {
+			ow = other.words[i]
+		}
+		nw := w & ow
+		if nw != w {
+			s.words[i] = nw
+			s.count -= bits.OnesCount64(w) - bits.OnesCount64(nw)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// IntersectInto sets dst = a ∩ b, reusing dst's backing storage, and
+// returns dst. A nil dst allocates a fresh set. dst must not alias a or
+// b. The word loop replaces the per-bit membership tests the solver's
+// cast/catch filtering would otherwise perform.
+func IntersectInto(dst, a, b *Set) *Set {
+	if dst == nil {
+		dst = &Set{}
+	}
+	n := min(len(a.words), len(b.words))
+	dst.grow(n - 1)
+	count := 0
+	for i := 0; i < n; i++ {
+		w := a.words[i] & b.words[i]
+		dst.words[i] = w
+		count += bits.OnesCount64(w)
+	}
+	for i := n; i < len(dst.words); i++ {
+		dst.words[i] = 0
+	}
+	dst.count = count
+	return dst
+}
+
 // Intersects reports whether s and other share at least one bit.
 func (s *Set) Intersects(other *Set) bool {
 	if other == nil {

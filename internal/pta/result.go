@@ -35,7 +35,7 @@ func (r *Result) ReachableMethod(m *lang.Method) bool { return r.solver.ciMethod
 func (r *Result) VarPointsTo(v *lang.Var) *bitset.Set {
 	out := bitset.New(0)
 	for _, id := range r.solver.varIndex[v] {
-		out.Union(&r.solver.nodes[id].pts)
+		out.Union(r.solver.ptsAt(id))
 	}
 	return out
 }
@@ -89,7 +89,7 @@ func (r *Result) FieldPointsTo(fn func(base *Obj, field *lang.Field, targets []*
 			tgts = make(map[*Obj]bool)
 			merged[key] = tgts
 		}
-		r.solver.nodes[nodeID].pts.ForEach(func(i int) bool {
+		r.solver.ptsAt(nodeID).ForEach(func(i int) bool {
 			tgts[r.solver.csobjs[i].Obj] = true
 			return true
 		})
@@ -181,7 +181,7 @@ func (r *Result) ReachableCasts() []ReachableCast {
 			byStmt[cs.stmt] = set
 			order = append(order, cs.stmt)
 		}
-		r.solver.nodes[cs.rhsNode].pts.ForEach(func(i int) bool {
+		r.solver.ptsAt(cs.rhsNode).ForEach(func(i int) bool {
 			set[r.solver.csobjs[i].Obj] = true
 			return true
 		})

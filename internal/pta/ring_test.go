@@ -1,0 +1,78 @@
+package pta
+
+import "testing"
+
+func TestRingFIFOOrder(t *testing.T) {
+	var r intRing
+	for i := 0; i < 100; i++ {
+		r.push(i)
+	}
+	for i := 0; i < 100; i++ {
+		id, ok := r.pop()
+		if !ok || id != i {
+			t.Fatalf("pop %d = (%d, %v)", i, id, ok)
+		}
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop on empty ring reported ok")
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	var r intRing
+	// Interleave pushes and pops so head walks around the buffer many
+	// times; order must stay FIFO across every wrap.
+	next, expect := 0, 0
+	for round := 0; round < 1000; round++ {
+		for i := 0; i < 7; i++ {
+			r.push(next)
+			next++
+		}
+		for i := 0; i < 5; i++ {
+			id, ok := r.pop()
+			if !ok || id != expect {
+				t.Fatalf("round %d: pop = (%d, %v), want %d", round, id, ok, expect)
+			}
+			expect++
+		}
+	}
+	for {
+		id, ok := r.pop()
+		if !ok {
+			break
+		}
+		if id != expect {
+			t.Fatalf("drain: got %d want %d", id, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained %d items, pushed %d", expect, next)
+	}
+}
+
+// TestRingReusesCapacity pins the fix for the old worklist's
+// backing-array retention: `wl = wl[1:]` kept every consumed element
+// reachable and re-allocated on append. The ring must reach a steady
+// state where pushes reuse the same backing array, bounded by the
+// high-water mark rather than the total number of operations.
+func TestRingReusesCapacity(t *testing.T) {
+	var r intRing
+	for i := 0; i < 48; i++ { // high-water mark: 48 < 64
+		r.push(i)
+	}
+	capAfterFill := len(r.buf)
+	// A million steady-state operations must not grow the buffer.
+	for i := 0; i < 1_000_000; i++ {
+		if _, ok := r.pop(); !ok {
+			t.Fatal("unexpected empty")
+		}
+		r.push(i)
+	}
+	if len(r.buf) != capAfterFill {
+		t.Fatalf("steady state grew the ring: %d -> %d", capAfterFill, len(r.buf))
+	}
+	if r.peak != 48 {
+		t.Fatalf("peak=%d, want 48", r.peak)
+	}
+}

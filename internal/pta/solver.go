@@ -8,6 +8,7 @@ import (
 
 	"mahjong/internal/bitset"
 	"mahjong/internal/lang"
+	"mahjong/internal/unionfind"
 )
 
 // CSObj is a context-sensitive abstract object: an abstract object plus
@@ -42,6 +43,13 @@ type Options struct {
 	Heap     HeapModel // defaults to NewAllocSiteModel()
 	Selector Selector  // defaults to CI{}
 	Budget   Budget
+
+	// NoOpt disables the solver's semantics-preserving optimizations
+	// (copy-cycle collapsing and class-indexed filter masks) and falls
+	// back to the naive propagation strategy. Results are identical,
+	// only slower; the flag exists for A/B equivalence tests and
+	// ablation benchmarks.
+	NoOpt bool
 }
 
 // nodeKind discriminates pointer nodes.
@@ -58,14 +66,44 @@ type edge struct {
 	filter *lang.Class // non-nil for cast edges: only subtypes flow
 }
 
-// node is one pointer in the pointer-flow graph.
+// dupEdgeThreshold is the successor count past which a node switches
+// from linear duplicate scanning to a hash-set index in addEdge.
+const dupEdgeThreshold = 8
+
+// node is one pointer in the pointer-flow graph. Nodes are stored by
+// value in solver.nodes to avoid a pointer dereference per propagation
+// step; take fresh references after any call that may append a node.
 type node struct {
 	kind nodeKind
 	pts  bitset.Set
 	succ []edge
 
-	// var-node payload (nil for field nodes)
+	// edgeSet indexes succ for O(1) duplicate detection once the list
+	// outgrows dupEdgeThreshold; nil below it.
+	edgeSet map[edge]struct{}
+
+	// info is the var-node payload (nil for field nodes). It stays on
+	// the node that created it even after the node is collapsed into a
+	// cycle representative, so statement processing can keep appending
+	// sites through the original id.
 	info *varInfo
+
+	// merged holds the varInfos of nodes collapsed into this
+	// representative: a delta arriving here must fire their sites too.
+	merged []*varInfo
+}
+
+// loadSite / storeSite are load/store statements with their non-base
+// endpoints pre-resolved to node ids, so reacting to a points-to delta
+// costs no map lookups.
+type loadSite struct {
+	field *lang.Field
+	lhs   int
+}
+
+type storeSite struct {
+	field *lang.Field
+	rhs   int
 }
 
 // varInfo carries the statements that must react when the points-to set
@@ -74,8 +112,8 @@ type node struct {
 type varInfo struct {
 	ctx     *Context
 	v       *lang.Var
-	loads   []*lang.Load
-	stores  []*lang.Store
+	loads   []loadSite
+	stores  []storeSite
 	invokes []*lang.Invoke
 }
 
@@ -108,13 +146,23 @@ type castSite struct {
 	rhsNode int
 }
 
+// classMask is the class-indexed filter mask of one cast/catch filter
+// class: the set of CSObj IDs whose runtime type is a subtype. It is
+// extended incrementally as csObj interns new objects, so each object
+// pays one SubtypeOf test per distinct filter class instead of one per
+// filtered propagation.
+type classMask struct {
+	set  bitset.Set
+	upTo int // csobjs indexed so far
+}
+
 // Solver runs the analysis. Create one per run via Solve.
 type solver struct {
 	prog *lang.Program
 	opts Options
 	ctxt *ContextTable
 
-	nodes []*node
+	nodes []node
 
 	varNodes    map[varKey]int
 	fieldNodes  map[fieldKey]int
@@ -131,16 +179,26 @@ type solver struct {
 	ciMethods  map[*lang.Method]bool
 	casts      []castSite
 	castSeen   map[castInstKey]bool
-	virtSeen   map[virtKey]bool
 	emptyHeap  *Context
 	work       int64
 	deadline   time.Time
 	hasTimeout bool
 	ctx        context.Context // nil when cancellation is not requested
 
-	worklist []int
+	worklist intRing
 	queued   []bool
 	pending  []*bitset.Set
+	freeSets []*bitset.Set // cleared delta sets, reused by grabSet
+
+	// copy-cycle collapsing state (nil/zero under Options.NoOpt)
+	reps         *unionfind.Forest // nil until the first collapse
+	newCopyEdges int               // copy edges since the last SCC pass
+	sccTrigger   int               // pass when newCopyEdges reaches this
+
+	masks   map[*lang.Class]*classMask
+	scratch bitset.Set // filtered() output buffer, consumed immediately
+
+	stats Stats
 }
 
 type ctxObjKey struct {
@@ -151,12 +209,6 @@ type ctxObjKey struct {
 type castInstKey struct {
 	ctx  *Context
 	stmt *lang.Cast
-}
-
-type virtKey struct {
-	ctx *Context
-	inv *lang.Invoke
-	obj int // receiver CSObj id
 }
 
 // Result is the outcome of a points-to analysis run.
@@ -198,21 +250,26 @@ func SolveContext(ctx context.Context, prog *lang.Program, opts Options) (*Resul
 	if opts.Selector == nil {
 		opts.Selector = CI{}
 	}
+	// Pre-size the hot maps from program shape: statement count bounds
+	// the context-insensitive node/edge population, and undersized maps
+	// pay for themselves many times over in incremental rehashing.
+	st := prog.Stats()
 	s := &solver{
 		prog:        prog,
 		opts:        opts,
 		ctxt:        NewContextTable(),
-		varNodes:    make(map[varKey]int),
-		fieldNodes:  make(map[fieldKey]int),
+		varNodes:    make(map[varKey]int, st.Stmts),
+		fieldNodes:  make(map[fieldKey]int, 2*st.AllocSites),
 		staticNodes: make(map[*lang.Field]int),
-		varIndex:    make(map[*lang.Var][]int),
-		objCtxIdx:   make(map[ctxObjKey]int),
-		reachable:   make(map[csMethodKey]bool),
-		callEdges:   make(map[callEdgeKey]bool),
-		ciEdges:     make(map[*lang.Invoke]map[*lang.Method]bool),
-		ciMethods:   make(map[*lang.Method]bool),
+		varIndex:    make(map[*lang.Var][]int, st.Stmts),
+		objCtxIdx:   make(map[ctxObjKey]int, st.AllocSites),
+		reachable:   make(map[csMethodKey]bool, st.Methods),
+		callEdges:   make(map[callEdgeKey]bool, st.Stmts),
+		ciEdges:     make(map[*lang.Invoke]map[*lang.Method]bool, st.Methods),
+		ciMethods:   make(map[*lang.Method]bool, st.Methods),
 		castSeen:    make(map[castInstKey]bool),
-		virtSeen:    make(map[virtKey]bool),
+		masks:       make(map[*lang.Class]*classMask),
+		sccTrigger:  sccMinTrigger,
 	}
 	s.emptyHeap = s.ctxt.Empty()
 	if ctx != context.Background() {
@@ -255,23 +312,47 @@ func (s *solver) run() (aborted, cancelled bool) {
 		}
 	}()
 	s.makeReachable(s.ctxt.Empty(), s.prog.Entry)
-	for len(s.worklist) > 0 {
-		id := s.worklist[0]
-		s.worklist = s.worklist[1:]
+	for {
+		if !s.opts.NoOpt && s.newCopyEdges >= s.sccTrigger {
+			s.collapseCycles()
+		}
+		id, ok := s.worklist.pop()
+		if !ok {
+			break
+		}
 		s.queued[id] = false
 		delta := s.pending[id]
 		s.pending[id] = nil
+		if rep := s.find(id); rep != id {
+			// Collapsed while queued: its delta (if any) belongs to the
+			// representative now.
+			if delta != nil {
+				s.addPts(rep, delta)
+				s.releaseSet(delta)
+			}
+			continue
+		}
 		if delta == nil || delta.IsEmpty() {
+			s.releaseSet(delta)
 			continue
 		}
 		s.chargeWork(int64(delta.Len()))
-		n := s.nodes[id]
-		for _, e := range n.succ {
+		s.stats.PropagatedBits += int64(delta.Len())
+		// Do not hold a *node across the calls below: processing may
+		// append to s.nodes and invalidate interior pointers. Edges
+		// appended to succ mid-loop are fine to miss — addEdge replays
+		// the full points-to set (delta included) across new edges.
+		succ := s.nodes[id].succ
+		for _, e := range succ {
 			s.addPts(e.to, s.filtered(delta, e.filter))
 		}
-		if n.info != nil {
-			s.processVarDelta(n.info, delta)
+		if info := s.nodes[id].info; info != nil {
+			s.processVarDelta(info, delta)
 		}
+		for _, vi := range s.nodes[id].merged {
+			s.processVarDelta(vi, delta)
+		}
+		s.releaseSet(delta)
 	}
 	return false, false
 }
@@ -296,25 +377,83 @@ func (s *solver) chargeWork(units int64) {
 	}
 }
 
+// find resolves a node id to its cycle representative; the identity
+// until the first collapse (and always under NoOpt).
+func (s *solver) find(id int) int {
+	if s.reps == nil || id >= s.reps.Len() {
+		return id
+	}
+	return s.reps.Find(id)
+}
+
+// ptsAt returns the points-to set of id's representative. The pointer
+// is only valid until the next node append or collapse.
+func (s *solver) ptsAt(id int) *bitset.Set {
+	return &s.nodes[s.find(id)].pts
+}
+
+// grabSet returns an empty delta set, reusing a released one if
+// available (the steady state allocates nothing).
+func (s *solver) grabSet() *bitset.Set {
+	if n := len(s.freeSets); n > 0 {
+		p := s.freeSets[n-1]
+		s.freeSets = s.freeSets[:n-1]
+		return p
+	}
+	return &bitset.Set{}
+}
+
+func (s *solver) releaseSet(p *bitset.Set) {
+	if p == nil {
+		return
+	}
+	p.Clear()
+	s.freeSets = append(s.freeSets, p)
+}
+
+// mask returns filter's class-indexed object mask, extending it over
+// any CSObjs interned since the last use.
+func (s *solver) mask(filter *lang.Class) *bitset.Set {
+	m := s.masks[filter]
+	if m == nil {
+		m = &classMask{}
+		s.masks[filter] = m
+		s.stats.FilterMasks++
+	}
+	for i := m.upTo; i < len(s.csobjs); i++ {
+		if s.csobjs[i].Obj.Type.SubtypeOf(filter) {
+			m.set.Add(i)
+		}
+	}
+	m.upTo = len(s.csobjs)
+	return &m.set
+}
+
 // filtered returns delta restricted to objects whose type is a subtype
-// of filter; a nil filter returns delta unchanged.
+// of filter; a nil filter returns delta unchanged. The result may alias
+// the solver's scratch buffer and must be consumed before the next
+// filtered call.
 func (s *solver) filtered(delta *bitset.Set, filter *lang.Class) *bitset.Set {
 	if filter == nil {
 		return delta
 	}
-	out := bitset.New(0)
-	delta.ForEach(func(i int) bool {
-		if s.csobjs[i].Obj.Type.SubtypeOf(filter) {
-			out.Add(i)
-		}
-		return true
-	})
-	return out
+	if s.opts.NoOpt {
+		out := bitset.New(0)
+		delta.ForEach(func(i int) bool {
+			if s.csobjs[i].Obj.Type.SubtypeOf(filter) {
+				out.Add(i)
+			}
+			return true
+		})
+		return out
+	}
+	s.stats.FilterMaskHits++
+	return bitset.IntersectInto(&s.scratch, delta, s.mask(filter))
 }
 
 func (s *solver) newNode(kind nodeKind, info *varInfo) int {
 	id := len(s.nodes)
-	s.nodes = append(s.nodes, &node{kind: kind, info: info})
+	s.nodes = append(s.nodes, node{kind: kind, info: info})
 	s.queued = append(s.queued, false)
 	s.pending = append(s.pending, nil)
 	return id
@@ -363,46 +502,86 @@ func (s *solver) csObj(ctx *Context, o *Obj) int {
 }
 
 // addPts merges set into node id's points-to set, queueing the newly
-// added part for propagation.
+// added part for propagation. set is only read, never retained.
 func (s *solver) addPts(id int, set *bitset.Set) {
 	if set == nil || set.IsEmpty() {
 		return
 	}
-	n := s.nodes[id]
-	diff := n.pts.UnionDiff(set)
-	if diff == nil {
+	id = s.find(id)
+	p := s.pending[id]
+	fresh := p == nil
+	if fresh {
+		p = s.grabSet()
+	}
+	if s.nodes[id].pts.UnionInto(set, p) == 0 {
+		if fresh {
+			s.releaseSet(p)
+		}
 		return
 	}
-	if s.pending[id] == nil {
-		s.pending[id] = diff
-	} else {
-		s.pending[id].Union(diff)
+	if fresh {
+		s.pending[id] = p
 	}
-	if !s.queued[id] {
-		s.queued[id] = true
-		s.worklist = append(s.worklist, id)
-	}
+	s.queue(id)
 }
 
+// addPtsOne adds a single object without building a one-bit set.
 func (s *solver) addPtsOne(id, obj int) {
-	one := bitset.New(obj + 1)
-	one.Add(obj)
-	s.addPts(id, one)
+	id = s.find(id)
+	if !s.nodes[id].pts.Add(obj) {
+		return
+	}
+	p := s.pending[id]
+	if p == nil {
+		p = s.grabSet()
+		s.pending[id] = p
+	}
+	p.Add(obj)
+	s.queue(id)
+}
+
+func (s *solver) queue(id int) {
+	if !s.queued[id] {
+		s.queued[id] = true
+		s.worklist.push(id)
+	}
 }
 
 // addEdge inserts a flow edge and replays the source's current
-// points-to set across it. Duplicate edges are suppressed.
+// points-to set across it. Duplicate edges are suppressed — by a linear
+// scan while the successor list is short, by a hash set once it grows.
 func (s *solver) addEdge(from, to int, filter *lang.Class) {
+	from, to = s.find(from), s.find(to)
 	if from == to && filter == nil {
 		return
 	}
-	n := s.nodes[from]
-	for _, e := range n.succ {
-		if e.to == to && e.filter == filter {
+	n := &s.nodes[from]
+	e := edge{to: to, filter: filter}
+	if n.edgeSet != nil {
+		if _, dup := n.edgeSet[e]; dup {
 			return
 		}
+		n.edgeSet[e] = struct{}{}
+	} else {
+		for _, old := range n.succ {
+			if old == e {
+				return
+			}
+		}
+		if len(n.succ) >= dupEdgeThreshold {
+			n.edgeSet = make(map[edge]struct{}, len(n.succ)+1)
+			for _, old := range n.succ {
+				n.edgeSet[old] = struct{}{}
+			}
+			n.edgeSet[e] = struct{}{}
+		}
 	}
-	n.succ = append(n.succ, edge{to: to, filter: filter})
+	n.succ = append(n.succ, e)
+	s.stats.Edges++
+	if filter == nil {
+		s.stats.CopyEdges++
+		s.newCopyEdges++
+	}
 	if !n.pts.IsEmpty() {
 		s.addPts(to, s.filtered(&n.pts, filter))
 	}
@@ -453,15 +632,17 @@ func (s *solver) processStmt(ctx *Context, m *lang.Method, st lang.Stmt) {
 
 	case *lang.Load:
 		base := s.varNode(ctx, stmt.Base)
+		ls := loadSite{field: stmt.Field, lhs: s.varNode(ctx, stmt.LHS)}
 		info := s.nodes[base].info
-		info.loads = append(info.loads, stmt)
-		s.replayBase(ctx, base, func(obj int) { s.applyLoad(ctx, obj, stmt) })
+		info.loads = append(info.loads, ls)
+		s.replayBase(base, func(obj int) { s.applyLoad(obj, ls) })
 
 	case *lang.Store:
 		base := s.varNode(ctx, stmt.Base)
+		ss := storeSite{field: stmt.Field, rhs: s.varNode(ctx, stmt.RHS)}
 		info := s.nodes[base].info
-		info.stores = append(info.stores, stmt)
-		s.replayBase(ctx, base, func(obj int) { s.applyStore(ctx, obj, stmt) })
+		info.stores = append(info.stores, ss)
+		s.replayBase(base, func(obj int) { s.applyStore(obj, ss) })
 
 	case *lang.StaticLoad:
 		s.addEdge(s.staticNode(stmt.Field), s.varNode(ctx, stmt.LHS), nil)
@@ -478,7 +659,7 @@ func (s *solver) processStmt(ctx *Context, m *lang.Method, st lang.Stmt) {
 			base := s.varNode(ctx, stmt.Base)
 			info := s.nodes[base].info
 			info.invokes = append(info.invokes, stmt)
-			s.replayBase(ctx, base, func(obj int) { s.applyInvoke(ctx, obj, stmt) })
+			s.replayBase(base, func(obj int) { s.applyInvoke(ctx, obj, stmt) })
 		}
 
 	case *lang.Return:
@@ -497,14 +678,18 @@ func (s *solver) processStmt(ctx *Context, m *lang.Method, st lang.Stmt) {
 	}
 }
 
-// replayBase applies fn to every object already in base's points-to set;
-// future objects are handled by processVarDelta.
-func (s *solver) replayBase(_ *Context, base int, fn func(obj int)) {
-	pts := &s.nodes[base].pts
+// replayBase applies fn to every object already in base's points-to
+// set; future objects are handled by processVarDelta. It iterates a
+// snapshot: callbacks may grow the live set through addPts (e.g. the
+// self-load `x = x.f`), and bits added mid-replay reach fn later via
+// the pending delta instead of a mutating iteration.
+func (s *solver) replayBase(base int, fn func(obj int)) {
+	pts := s.ptsAt(base)
 	if pts.IsEmpty() {
 		return
 	}
-	pts.ForEach(func(i int) bool {
+	snap := pts.Clone()
+	snap.ForEach(func(i int) bool {
 		fn(i)
 		return true
 	})
@@ -515,10 +700,10 @@ func (s *solver) processVarDelta(info *varInfo, delta *bitset.Set) {
 	ctx := info.ctx
 	delta.ForEach(func(obj int) bool {
 		for _, ld := range info.loads {
-			s.applyLoad(ctx, obj, ld)
+			s.applyLoad(obj, ld)
 		}
 		for _, st := range info.stores {
-			s.applyStore(ctx, obj, st)
+			s.applyStore(obj, st)
 		}
 		for _, inv := range info.invokes {
 			s.applyInvoke(ctx, obj, inv)
@@ -527,20 +712,22 @@ func (s *solver) processVarDelta(info *varInfo, delta *bitset.Set) {
 	})
 }
 
-func (s *solver) applyLoad(ctx *Context, obj int, ld *lang.Load) {
-	s.addEdge(s.fieldNode(obj, ld.Field), s.varNode(ctx, ld.LHS), nil)
+func (s *solver) applyLoad(obj int, ld loadSite) {
+	s.addEdge(s.fieldNode(obj, ld.field), ld.lhs, nil)
 }
 
-func (s *solver) applyStore(ctx *Context, obj int, st *lang.Store) {
-	s.addEdge(s.varNode(ctx, st.RHS), s.fieldNode(obj, st.Field), nil)
+func (s *solver) applyStore(obj int, st storeSite) {
+	s.addEdge(st.rhs, s.fieldNode(obj, st.field), nil)
 }
 
+// applyInvoke dispatches inv on receiver object obj and wires the call
+// edge. There is deliberately no (ctx, inv, obj) seen-cache in front of
+// it: deltas are disjoint from previously propagated bits, so a pair
+// can repeat only through a statement replay overlapping a pending
+// delta or a post-collapse re-propagation — both bounded — and
+// addCallEdge deduplicates the edge itself. The former cache's hashing
+// and rehash churn dominated the solver's profile.
 func (s *solver) applyInvoke(ctx *Context, obj int, inv *lang.Invoke) {
-	vk := virtKey{ctx, inv, obj}
-	if s.virtSeen[vk] {
-		return
-	}
-	s.virtSeen[vk] = true
 	recv := s.csobjs[obj]
 	var callee *lang.Method
 	if inv.Kind == lang.SpecialCall {

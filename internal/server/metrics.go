@@ -25,6 +25,12 @@ type metrics struct {
 	fpgNS      atomic.Int64 // FPG construction time
 	mergeNS    atomic.Int64 // heap-modeling (merge) time
 	analysisNS atomic.Int64 // main-analysis wall time
+
+	// Solver-internal counters, accumulated from pta.Stats per analysis.
+	solverPropagated atomic.Int64 // points-to facts pushed through the worklist
+	solverSCCs       atomic.Int64 // copy cycles collapsed
+	solverSCCNodes   atomic.Int64 // nodes folded into cycle representatives
+	solverMaskHits   atomic.Int64 // filtered propagations served by class masks
 }
 
 // MetricsSnapshot is the JSON form of /metrics?format=json.
@@ -46,6 +52,11 @@ type MetricsSnapshot struct {
 	FPGBuildMS     int64 `json:"fpg_build_ms"`
 	HeapModelingMS int64 `json:"heap_modeling_ms"`
 	AnalysisMS     int64 `json:"analysis_ms"`
+
+	SolverPropagatedFacts int64 `json:"solver_propagated_facts"`
+	SolverSCCsCollapsed   int64 `json:"solver_sccs_collapsed"`
+	SolverNodesCollapsed  int64 `json:"solver_nodes_collapsed"`
+	SolverFilterMaskHits  int64 `json:"solver_filter_mask_hits"`
 }
 
 func (m *metrics) snapshot(queued, cacheEntries int) MetricsSnapshot {
@@ -68,6 +79,11 @@ func (m *metrics) snapshot(queued, cacheEntries int) MetricsSnapshot {
 		FPGBuildMS:     ms(m.fpgNS.Load()),
 		HeapModelingMS: ms(m.mergeNS.Load()),
 		AnalysisMS:     ms(m.analysisNS.Load()),
+
+		SolverPropagatedFacts: m.solverPropagated.Load(),
+		SolverSCCsCollapsed:   m.solverSCCs.Load(),
+		SolverNodesCollapsed:  m.solverSCCNodes.Load(),
+		SolverFilterMaskHits:  m.solverMaskHits.Load(),
 	}
 }
 
@@ -95,4 +111,8 @@ func writeProm(w io.Writer, s MetricsSnapshot) {
 	counter("mahjongd_fpg_build_milliseconds_total", "Time spent building field points-to graphs.", s.FPGBuildMS)
 	counter("mahjongd_heap_modeling_milliseconds_total", "Time spent merging equivalent automata.", s.HeapModelingMS)
 	counter("mahjongd_analysis_milliseconds_total", "Time spent in main points-to analyses.", s.AnalysisMS)
+	counter("mahjongd_solver_propagated_facts_total", "Points-to facts pushed through solver worklists.", s.SolverPropagatedFacts)
+	counter("mahjongd_solver_sccs_collapsed_total", "Copy cycles collapsed onto representatives.", s.SolverSCCsCollapsed)
+	counter("mahjongd_solver_nodes_collapsed_total", "Pointer nodes folded into cycle representatives.", s.SolverNodesCollapsed)
+	counter("mahjongd_solver_filter_mask_hits_total", "Filtered propagations served by class-indexed masks.", s.SolverFilterMaskHits)
 }

@@ -251,6 +251,10 @@ type Report struct {
 	Metrics clients.Metrics
 	// CSObjects and CSMethods measure context-sensitive analysis size.
 	CSObjects, CSMethods int
+	// Solver holds the solver's internal performance counters (graph
+	// size, copy cycles collapsed, filter-mask usage); valid for every
+	// run, including unscalable ones.
+	Solver pta.Stats
 
 	result *pta.Result
 }
@@ -303,6 +307,7 @@ func AnalyzeContext(ctx context.Context, p *Program, cfg Config) (*Report, error
 		Work:      r.Work,
 		CSObjects: r.NumCSObjs(),
 		CSMethods: r.NumCSMethods(),
+		Solver:    r.Stats(),
 		result:    r,
 	}
 	if rep.Scalable {
