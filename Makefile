@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint serve race clean bench bench-save slowcheck
+.PHONY: build test lint serve race clean bench bench-save slowcheck faultmatrix fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,13 @@ bench-save: ## record solver benchmark numbers in BENCH_solver.json
 
 slowcheck: ## optimized-vs-naive solver A/B over every benchmark program
 	MAHJONG_SLOWCHECK=1 $(GO) test ./internal/bench -run SolverEquivalence -v
+
+faultmatrix: ## fault-injection matrix + shutdown/degradation tests under the race detector
+	$(GO) test -race ./internal/server/ -run 'TestFaultMatrix|TestShutdown|TestDegraded' -v
+	$(GO) test -race ./internal/faultinject/ ./internal/pta/ -run 'TestFire|TestCombinator|TestTimes|TestSetAndClear|TestOnStage|TestMutator|TestSolveContext|TestSolveClean'
+
+fuzz-smoke: ## 10-second fuzz pass over the mahjongd submission endpoint
+	$(GO) test ./internal/server/ -run '^$$' -fuzz FuzzSubmit -fuzztime=10s
 
 clean:
 	$(GO) clean ./...

@@ -37,6 +37,10 @@ func main() {
 	analysis := flag.String("analysis", "ci", "analysis: ci, 2cs, 2type, 3type, 2obj, 3obj, or any k prefix")
 	heap := flag.String("heap", "mahjong", "heap abstraction: alloc-site, alloc-type, mahjong")
 	budget := flag.Int64("budget", 0, "work budget (0 = unlimited)")
+	budgetFacts := flag.Int64("budget-facts", 0, "resource budget: propagated points-to facts (0 = unlimited)")
+	budgetWords := flag.Int64("budget-words", 0, "resource budget: live points-to bitset words (0 = unlimited)")
+	budgetPairs := flag.Int64("budget-pairs", 0, "resource budget: automata merge pairs (0 = unlimited)")
+	degrade := flag.Bool("degrade", false, "fall back to -heap=alloc-site when building the Mahjong abstraction fails or exhausts its resource budget")
 	workers := flag.Int("workers", 0, "parallel merge workers (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print per-class merge details")
 	cgOut := flag.String("callgraph", "", "write the call graph to this file (.dot or .json by extension)")
@@ -88,17 +92,33 @@ func main() {
 	fmt.Printf("program: %d classes, %d methods, %d statements, %d allocation sites\n",
 		st.Classes, st.Methods, st.Stmts, st.AllocSites)
 
+	resources := mahjong.ResourceBudget{
+		Facts:       *budgetFacts,
+		BitsetWords: *budgetWords,
+		MergePairs:  *budgetPairs,
+	}
 	cfg := mahjong.Config{
 		Analysis:   *analysis,
 		Heap:       mahjong.HeapKind(*heap),
 		BudgetWork: *budget,
+		Resources:  resources,
 	}
 	if cfg.Heap == mahjong.HeapMahjong {
-		abs, err := obtainAbstraction(ctx, prog, *loadAbs, *workers)
-		if err != nil {
+		abs, err := obtainAbstraction(ctx, prog, *loadAbs, *workers, resources)
+		switch {
+		case err == nil:
+			cfg.Abstraction = abs
+		case *degrade && degradable(err):
+			// Graceful degradation: the alloc-site abstraction is the
+			// sound baseline, merely less compact — keep going on it.
+			fmt.Fprintf(os.Stderr, "mahjong: abstraction failed (%v); degrading to -heap=alloc-site\n", err)
+			cfg.Heap = mahjong.HeapAllocSite
+		default:
 			fail(err)
 		}
-		cfg.Abstraction = abs
+	}
+	if cfg.Heap == mahjong.HeapMahjong {
+		abs := cfg.Abstraction
 		if *saveAbs != "" {
 			if err := saveAbstraction(*saveAbs, abs); err != nil {
 				fail(err)
@@ -121,14 +141,14 @@ func main() {
 		fail(err)
 	}
 	if !rep.Scalable {
-		fmt.Printf("%s/%s: UNSCALABLE within budget (%d work units)\n", *analysis, *heap, rep.Work)
+		fmt.Printf("%s/%s: UNSCALABLE within budget (%d work units)\n", *analysis, cfg.Heap, rep.Work)
 		if *stats {
 			printSolverStats(rep)
 		}
 		os.Exit(exitExhausted)
 	}
 	fmt.Printf("%s/%s: %v, %d work units, %d cs-objects, %d cs-methods\n",
-		*analysis, *heap, rep.Time.Round(1e5), rep.Work, rep.CSObjects, rep.CSMethods)
+		*analysis, cfg.Heap, rep.Time.Round(1e5), rep.Work, rep.CSObjects, rep.CSMethods)
 	fmt.Printf("clients: %d call-graph edges, %d poly call sites, %d may-fail casts, %d reachable methods\n",
 		rep.Metrics.CallGraphEdges, rep.Metrics.PolyCallSites, rep.Metrics.MayFailCasts, rep.Metrics.Reachable)
 	if *stats {
@@ -169,11 +189,23 @@ func writeCallGraph(path string, rep *mahjong.Report) error {
 	return export.CallGraphDOT(f, rep.Result())
 }
 
+// degradable reports whether err is answered by falling back to the
+// allocation-site abstraction: an internal (panic-recovered) pipeline
+// error or resource-budget exhaustion. Deadline and cancellation
+// errors are not — the run is out of time either way.
+func degradable(err error) bool {
+	var ie *mahjong.InternalError
+	if errors.As(err, &ie) {
+		return true
+	}
+	return errors.Is(err, mahjong.ErrBudgetExhausted)
+}
+
 // obtainAbstraction loads a persisted abstraction when a path is given,
 // otherwise builds one from scratch.
-func obtainAbstraction(ctx context.Context, prog *mahjong.Program, loadPath string, workers int) (*mahjong.Abstraction, error) {
+func obtainAbstraction(ctx context.Context, prog *mahjong.Program, loadPath string, workers int, resources mahjong.ResourceBudget) (*mahjong.Abstraction, error) {
 	if loadPath == "" {
-		return mahjong.BuildAbstractionContext(ctx, prog, mahjong.AbstractionOptions{Workers: workers})
+		return mahjong.BuildAbstractionContext(ctx, prog, mahjong.AbstractionOptions{Workers: workers, Resources: resources})
 	}
 	f, err := os.Open(loadPath)
 	if err != nil {
@@ -205,11 +237,13 @@ func load(in, benchName string) (*mahjong.Program, error) {
 	}
 }
 
-// fail reports err and exits: code 2 when the error is exhaustion (a
-// budget overrun or an expired -timeout deadline), 1 otherwise.
+// fail reports err and exits: code 3 when the error is exhaustion (a
+// work- or resource-budget overrun or an expired -timeout deadline),
+// 1 otherwise.
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "mahjong:", err)
 	if errors.Is(err, mahjong.ErrBudget) ||
+		errors.Is(err, mahjong.ErrBudgetExhausted) ||
 		errors.Is(err, context.DeadlineExceeded) ||
 		errors.Is(err, context.Canceled) {
 		os.Exit(exitExhausted)

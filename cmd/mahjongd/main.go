@@ -21,6 +21,7 @@ import (
 	"syscall"
 	"time"
 
+	"mahjong"
 	"mahjong/internal/server"
 )
 
@@ -30,13 +31,27 @@ func main() {
 	queue := flag.Int("queue", 64, "max jobs waiting for a worker (full queue rejects with 503)")
 	cacheEntries := flag.Int("cache", 64, "abstraction cache capacity in programs (-1 = unbounded)")
 	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "default per-job deadline (0 = none)")
+	shutdownGrace := flag.Duration("shutdown-grace", 5*time.Second, "how long shutdown waits for in-flight jobs before cancelling them (negative = forever)")
+	maxProgram := flag.Int64("max-program-bytes", 8<<20, "max POST /jobs body size in bytes")
+	budgetFacts := flag.Int64("budget-facts", 0, "default per-job cap on propagated points-to facts (0 = unlimited)")
+	budgetWords := flag.Int64("budget-words", 0, "default per-job cap on live points-to bitset words (0 = unlimited)")
+	budgetPairs := flag.Int64("budget-pairs", 0, "default per-job cap on automata merge pairs (0 = unlimited)")
+	noDegrade := flag.Bool("no-degrade", false, "disable the allocation-site fallback when abstraction building fails")
 	flag.Parse()
 
 	srv := server.New(server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		DefaultTimeout: *jobTimeout,
-		CacheEntries:   *cacheEntries,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		DefaultTimeout:  *jobTimeout,
+		CacheEntries:    *cacheEntries,
+		ShutdownGrace:   *shutdownGrace,
+		MaxProgramBytes: *maxProgram,
+		Budget: mahjong.ResourceBudget{
+			Facts:       *budgetFacts,
+			BitsetWords: *budgetWords,
+			MergePairs:  *budgetPairs,
+		},
+		NoDegrade: *noDegrade,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

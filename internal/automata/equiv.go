@@ -1,5 +1,12 @@
 package automata
 
+import (
+	"runtime/debug"
+
+	"mahjong/internal/failure"
+	"mahjong/internal/faultinject"
+)
+
 // Equivalent implements Algorithm 4: the Hopcroft–Karp near-linear DFA
 // equivalence check, adapted to 6-tuple sequential automata. Two DFAs
 // are equivalent iff every pair of states merged by the check has the
@@ -12,6 +19,14 @@ package automata
 // smaller automaton rather than in the whole shared universe — so it is
 // safe to run concurrently on a read-only universe.
 func (u *Universe) Equivalent(a, b *State) bool {
+	// Injection seam for the fault matrix: this code runs inside the heap
+	// modeler's parallel merge workers, so a bug here is exactly the
+	// "panic in a worker goroutine" case the pipeline's failure isolation
+	// must survive. The pre-typed stage keeps "automata.equiv" (not the
+	// enclosing stage) visible in per-stage failure counters.
+	if err := faultinject.Fire(faultinject.StageEquiv); err != nil {
+		panic(&failure.InternalError{Stage: faultinject.StageEquiv, Value: err, Stack: debug.Stack()})
+	}
 	if a == b {
 		return true // hash-consing fast path: identical automata share the root
 	}

@@ -33,6 +33,10 @@ func New(n int) *Set {
 // Len returns the number of bits set.
 func (s *Set) Len() int { return s.count }
 
+// Words returns the number of 64-bit words backing the set — the
+// quantity resource budgets meter to bound live points-to memory.
+func (s *Set) Words() int { return len(s.words) }
+
 // IsEmpty reports whether no bits are set.
 func (s *Set) IsEmpty() bool { return s.count == 0 }
 

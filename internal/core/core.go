@@ -21,6 +21,9 @@ import (
 	"time"
 
 	"mahjong/internal/automata"
+	"mahjong/internal/budget"
+	"mahjong/internal/failure"
+	"mahjong/internal/faultinject"
 	"mahjong/internal/fpg"
 	"mahjong/internal/lang"
 	"mahjong/internal/pta"
@@ -54,6 +57,10 @@ type Options struct {
 	// §5 "shared sequential automata" optimization). Semantics are
 	// unchanged; only time/space differ.
 	DisableSharing bool
+	// Meter, when non-nil, charges the shared per-job resource budget one
+	// merge pair per equivalence test; exhaustion aborts BuildContext with
+	// an error wrapping budget.ErrExhausted.
+	Meter *budget.Meter
 }
 
 // Result is the heap abstraction built by the modeler.
@@ -91,19 +98,30 @@ func (c Class) Size() int { return len(c.Members) }
 
 // Build runs Algorithm 1 on the FPG.
 func Build(g *fpg.Graph, opts Options) *Result {
+	opts.Meter = nil
 	res, err := BuildContext(context.Background(), g, opts)
 	if err != nil {
-		// Background contexts are never cancelled; any error is a bug.
+		// Background contexts are never cancelled and unmetered builds
+		// cannot exhaust; any error here is a bug (or an injected fault
+		// in a test driving Build directly).
 		panic(err)
 	}
 	return res
 }
 
-// BuildContext is Build with cancellation: both merge phases check ctx
-// (the parallel per-type workers between candidate objects), and a
-// cancelled or timed-out context aborts modeling with an error wrapping
-// context.Canceled or context.DeadlineExceeded.
-func BuildContext(ctx context.Context, g *fpg.Graph, opts Options) (*Result, error) {
+// BuildContext is Build with cancellation and resource budgeting: both
+// merge phases check ctx (the parallel per-type workers between
+// candidate objects), and a cancelled or timed-out context aborts
+// modeling with an error wrapping context.Canceled or
+// context.DeadlineExceeded. A panic anywhere in the modeler — including
+// inside the parallel merge workers — is recovered into a
+// *failure.InternalError rather than tearing down the process; the
+// first such failure cancels the remaining workers.
+func BuildContext(ctx context.Context, g *fpg.Graph, opts Options) (res *Result, err error) {
+	defer failure.Recover(faultinject.StageModel, &err)
+	if err := faultinject.Fire(faultinject.StageModel); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -157,11 +175,29 @@ func BuildContext(ctx context.Context, g *fpg.Graph, opts Options) (*Result, err
 	// against the running list of class representatives. Groups touch
 	// disjoint union-find trees (merging never crosses types), so the
 	// shared forest needs no synchronization across groups.
+	//
+	// Failure isolation: a panic or budget exhaustion inside ANY worker
+	// must not tear down the process (a worker panic would bypass every
+	// caller-side recover). The first failure is latched through fail,
+	// which also cancels mergeCtx so the other workers drain quickly;
+	// partial merges stay sound but the whole result is discarded.
+	mergeCtx, cancelMerge := context.WithCancel(ctx)
+	defer cancelMerge()
+	var (
+		failOnce sync.Once
+		mergeErr error
+	)
+	fail := func(e error) {
+		failOnce.Do(func() {
+			mergeErr = e
+			cancelMerge()
+		})
+	}
 	uf := unionfind.New(len(g.Objs))
 	mergeGroup := func(nodes []int) {
 		var reps []int
 		for _, n := range nodes {
-			if ctx.Err() != nil {
+			if mergeCtx.Err() != nil {
 				return // partial merges stay sound; the caller discards them
 			}
 			if !pass[n] {
@@ -169,6 +205,10 @@ func BuildContext(ctx context.Context, g *fpg.Graph, opts Options) (*Result, err
 			}
 			merged := false
 			for _, r := range reps {
+				if merr := opts.Meter.AddPairs(1); merr != nil {
+					fail(merr)
+					return
+				}
 				if equivalent(u, g, opts, r, n) {
 					uf.Union(r, n)
 					merged = true
@@ -180,9 +220,17 @@ func BuildContext(ctx context.Context, g *fpg.Graph, opts Options) (*Result, err
 			}
 		}
 	}
+	runGroup := func(nodes []int) {
+		defer func() {
+			if r := recover(); r != nil {
+				fail(failure.AsInternal(faultinject.StageModel, r))
+			}
+		}()
+		mergeGroup(nodes)
+	}
 	if workers == 1 || len(groupList) < 2 {
 		for _, nodes := range groupList {
-			mergeGroup(nodes)
+			runGroup(nodes)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -192,7 +240,7 @@ func BuildContext(ctx context.Context, g *fpg.Graph, opts Options) (*Result, err
 			go func() {
 				defer wg.Done()
 				for nodes := range work {
-					mergeGroup(nodes)
+					runGroup(nodes)
 				}
 			}()
 		}
@@ -202,11 +250,17 @@ func BuildContext(ctx context.Context, g *fpg.Graph, opts Options) (*Result, err
 		close(work)
 		wg.Wait()
 	}
+	if mergeErr != nil {
+		if ie, ok := mergeErr.(*failure.InternalError); ok {
+			return nil, ie
+		}
+		return nil, fmt.Errorf("core: %w", mergeErr)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: heap modeling interrupted: %w", err)
 	}
 
-	res := buildResult(g, uf, opts.Policy)
+	res = buildResult(g, uf, opts.Policy)
 	res.DFAStates = u.NumStates()
 	res.SumDFAStates = sumStates
 	res.Duration = time.Since(start)

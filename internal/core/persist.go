@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -58,30 +59,66 @@ func (r *Result) Save(w io.Writer) error {
 // reachable-object count. Labels present in the file but absent from
 // the program are an error (the file belongs to a different program
 // version); program sites absent from the file stay singletons.
+//
+// The input is treated as untrusted (it may arrive from a corrupted
+// cache entry or a truncated file): truncation, trailing garbage,
+// malformed structure, and internally inconsistent classes (empty or
+// duplicated labels, a site claimed by two classes, a negative object
+// count) are all rejected with descriptive errors rather than producing
+// a silently unsound merged-object map.
 func LoadMOM(r io.Reader, prog *lang.Program) (map[*lang.AllocSite]*lang.AllocSite, int, error) {
 	var in persistedAbstraction
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&in); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, 0, fmt.Errorf("core: abstraction file is truncated: %w", err)
+		}
 		return nil, 0, fmt.Errorf("core: decoding abstraction: %w", err)
+	}
+	// Anything after the JSON document is corruption, not a comment:
+	// a truncated-then-concatenated cache entry must not half-parse.
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, 0, fmt.Errorf("core: trailing data after abstraction document")
 	}
 	if in.Version != persistVersion {
 		return nil, 0, fmt.Errorf("core: unsupported abstraction version %d", in.Version)
+	}
+	if in.Objects < 0 {
+		return nil, 0, fmt.Errorf("core: negative object count %d", in.Objects)
 	}
 	byLabel := make(map[string]*lang.AllocSite, len(prog.Sites))
 	for _, s := range prog.Sites {
 		byLabel[s.Label] = s
 	}
 	mom := make(map[*lang.AllocSite]*lang.AllocSite)
-	for _, pc := range in.Classes {
+	for i, pc := range in.Classes {
+		if pc.Rep == "" {
+			return nil, 0, fmt.Errorf("core: class %d has an empty representative label", i)
+		}
 		rep, ok := byLabel[pc.Rep]
 		if !ok {
 			return nil, 0, fmt.Errorf("core: unknown representative site %q", pc.Rep)
 		}
+		if prev, claimed := mom[rep]; claimed && prev != rep {
+			return nil, 0, fmt.Errorf("core: site %q appears in more than one class", pc.Rep)
+		}
+		if _, claimed := mom[rep]; claimed {
+			return nil, 0, fmt.Errorf("core: duplicate representative %q", pc.Rep)
+		}
 		mom[rep] = rep
 		for _, ml := range pc.Members {
+			if ml == "" {
+				return nil, 0, fmt.Errorf("core: class %q has an empty member label", pc.Rep)
+			}
+			if ml == pc.Rep {
+				return nil, 0, fmt.Errorf("core: class %q lists its representative as a member", pc.Rep)
+			}
 			m, ok := byLabel[ml]
 			if !ok {
 				return nil, 0, fmt.Errorf("core: unknown member site %q", ml)
+			}
+			if _, claimed := mom[m]; claimed {
+				return nil, 0, fmt.Errorf("core: site %q appears in more than one class", ml)
 			}
 			if m.Type != rep.Type {
 				return nil, 0, fmt.Errorf("core: persisted class mixes types: %s vs %s", m, rep)

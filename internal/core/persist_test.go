@@ -69,3 +69,105 @@ func TestLoadRejectsGarbage(t *testing.T) {
 		t.Fatal("wrong version accepted")
 	}
 }
+
+// corruptMOM wraps a hand-built persisted document; version 1 unless
+// the body overrides it.
+func loadErr(t *testing.T, doc string) error {
+	t.Helper()
+	prog, _, _ := figure1FPG(t)
+	_, _, err := LoadMOM(strings.NewReader(doc), prog)
+	if err == nil {
+		t.Fatalf("corrupt document accepted:\n%s", doc)
+	}
+	return err
+}
+
+// Truncating a valid abstraction at EVERY byte boundary must produce a
+// descriptive error — never a panic, and never a silently partial MOM.
+func TestLoadRejectsTruncation(t *testing.T) {
+	prog, g, _ := figure1FPG(t)
+	res := Build(g, Options{})
+	var buf strings.Builder
+	if err := res.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The encoder appends a newline; losing only trailing whitespace
+	// still leaves a complete document, so sweep the meaningful bytes.
+	full := strings.TrimRight(buf.String(), "\n")
+	for n := 0; n < len(full); n++ {
+		mom, _, err := LoadMOM(strings.NewReader(full[:n]), prog)
+		if err == nil {
+			t.Fatalf("truncation at byte %d of %d accepted (%d-entry MOM)", n, len(full), len(mom))
+		}
+	}
+	// The clean-truncation shape (cut mid-document) names truncation.
+	_, _, err := LoadMOM(strings.NewReader(full[:len(full)/2]), prog)
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("mid-document truncation not described as such: %v", err)
+	}
+}
+
+func TestLoadRejectsTrailingData(t *testing.T) {
+	prog, g, _ := figure1FPG(t)
+	res := Build(g, Options{})
+	var buf strings.Builder
+	if err := res.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := LoadMOM(strings.NewReader(buf.String()+`{"version":1}`), prog)
+	if err == nil || !strings.Contains(err.Error(), "trailing data") {
+		t.Fatalf("concatenated documents accepted: %v", err)
+	}
+}
+
+// Bit-flipping every byte of a valid abstraction must never panic; each
+// flip either still parses to a consistent document or is rejected.
+func TestLoadSurvivesBitFlips(t *testing.T) {
+	prog, g, _ := figure1FPG(t)
+	res := Build(g, Options{})
+	var buf strings.Builder
+	if err := res.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := []byte(buf.String())
+	for i := range full {
+		mut := append([]byte(nil), full...)
+		mut[i] ^= 0x20
+		LoadMOM(strings.NewReader(string(mut)), prog) // must not panic
+	}
+}
+
+func TestLoadRejectsInconsistentClasses(t *testing.T) {
+	// Labels from figure1FPG: grep its alloc-site labels dynamically so
+	// the cases survive benchmark renames.
+	_, g, _ := figure1FPG(t)
+	res := Build(g, Options{})
+	var merged *lang.AllocSite
+	var rep *lang.AllocSite
+	for site, r := range res.MOM {
+		if site != r {
+			merged, rep = site, r
+			break
+		}
+	}
+	if merged == nil {
+		t.Fatal("figure1FPG merged nothing; the corruption cases need a 2-site class")
+	}
+	doc := func(body string) string { return `{"version":1,"objects":3,"classes":[` + body + `]}` }
+
+	cases := map[string]string{
+		"negative objects":  `{"version":1,"objects":-1,"classes":[]}`,
+		"empty rep label":   doc(`{"rep":""}`),
+		"empty member":      doc(`{"rep":"` + rep.Label + `","members":[""]}`),
+		"member equals rep": doc(`{"rep":"` + rep.Label + `","members":["` + rep.Label + `"]}`),
+		"duplicate rep": doc(`{"rep":"` + rep.Label + `","members":["` + merged.Label + `"]},` +
+			`{"rep":"` + rep.Label + `"}`),
+		"member in two classes": doc(`{"rep":"` + rep.Label + `","members":["` + merged.Label + `"]},` +
+			`{"rep":"` + merged.Label + `"}`),
+	}
+	for name, d := range cases {
+		if err := loadErr(t, d); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

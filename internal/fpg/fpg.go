@@ -13,9 +13,13 @@
 package fpg
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"mahjong/internal/budget"
+	"mahjong/internal/failure"
+	"mahjong/internal/faultinject"
 	"mahjong/internal/lang"
 	"mahjong/internal/pta"
 )
@@ -58,14 +62,42 @@ type Options struct {
 	// simply lack an out-edge). This is the ablation knob for the
 	// null-field handling of Table 1 (row "null") and §3.6.2.
 	OmitNullNode bool
+
+	// Meter, when non-nil, charges the shared per-job resource budget
+	// for each field points-to fact the builder materializes; exhaustion
+	// aborts BuildContext with an error wrapping budget.ErrExhausted.
+	Meter *budget.Meter
 }
 
 // Build constructs the FPG from a points-to result. The result is
 // expected to come from the pre-analysis (context-insensitive,
 // allocation-site heap model), but any result works: points-to sets are
 // projected context-insensitively.
+//
+// Build is the uncancellable, unmetered form; it panics on the (only
+// injectable) failure paths, mirroring core.Build. Pipeline callers use
+// BuildContext.
 func Build(r *pta.Result, opts Options) *Graph {
-	g := &Graph{
+	opts.Meter = nil
+	g, err := BuildContext(context.Background(), r, opts)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// BuildContext constructs the FPG like Build, honoring cancellation and
+// the resource budget in opts.Meter. A recovered panic in the builder is
+// returned as a *failure.InternalError with stage "fpg.build".
+func BuildContext(ctx context.Context, r *pta.Result, opts Options) (g *Graph, err error) {
+	defer failure.Recover(faultinject.StageFPG, &err)
+	if err := faultinject.Fire(faultinject.StageFPG); err != nil {
+		return nil, fmt.Errorf("fpg: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("fpg: %w", err)
+	}
+	g = &Graph{
 		nodeOf:  make(map[*pta.Obj]int),
 		typeOf:  make(map[*lang.Class]int),
 		fieldOf: make(map[*lang.Field]int),
@@ -81,15 +113,25 @@ func Build(r *pta.Result, opts Options) *Graph {
 		g.addNode(o)
 	}
 
-	// Field points-to facts from the analysis.
+	// Field points-to facts from the analysis. The callback cannot return
+	// an error, so budget exhaustion is latched in buildErr and the
+	// remaining facts are skipped cheaply.
 	type key struct {
 		node  int
 		field int
 	}
 	edges := make(map[key][]int)
+	var buildErr error
 	r.FieldPointsTo(func(base *pta.Obj, field *lang.Field, targets []*pta.Obj) {
+		if buildErr != nil {
+			return
+		}
 		bn, ok := g.nodeOf[base]
 		if !ok {
+			return
+		}
+		if merr := opts.Meter.AddFacts(int64(len(targets))); merr != nil {
+			buildErr = merr
 			return
 		}
 		fid := g.fieldID(field)
@@ -100,11 +142,19 @@ func Build(r *pta.Result, opts Options) *Graph {
 			}
 		}
 	})
+	if buildErr != nil {
+		return nil, fmt.Errorf("fpg: %w", buildErr)
+	}
 
 	// Null-field completion: every instance field of every object that has
 	// no recorded target may be null.
 	if !opts.OmitNullNode {
 		for id := 1; id < len(g.Objs); id++ {
+			if id&1023 == 1023 {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("fpg: %w", err)
+				}
+			}
 			for _, f := range g.Objs[id].Type.InstanceFields() {
 				k := key{id, g.fieldID(f)}
 				if len(edges[k]) == 0 {
@@ -126,7 +176,7 @@ func Build(r *pta.Result, opts Options) *Graph {
 		sort.Slice(es, func(i, j int) bool { return es[i].Field < es[j].Field })
 		g.Out[id] = es
 	}
-	return g
+	return g, nil
 }
 
 func dedupSorted(xs []int) []int {

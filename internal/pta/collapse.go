@@ -1,7 +1,11 @@
 package pta
 
 import (
+	"runtime/debug"
+
 	"mahjong/internal/bitset"
+	"mahjong/internal/failure"
+	"mahjong/internal/faultinject"
 	"mahjong/internal/unionfind"
 )
 
@@ -31,6 +35,14 @@ const sccMinTrigger = 128
 
 // collapseCycles runs one condensation pass and resets the trigger.
 func (s *solver) collapseCycles() {
+	// Injection seam for the fault matrix: a typed error panics through
+	// the run loop's sentinel recovery (which re-raises non-sentinels)
+	// into the stage guard, reproducing a bug striking while Tarjan
+	// state is live; the pre-typed stage keeps "pta.collapse" visible in
+	// per-stage failure counters.
+	if err := faultinject.Fire(faultinject.StageCollapse); err != nil {
+		panic(&failure.InternalError{Stage: faultinject.StageCollapse, Value: err, Stack: debug.Stack()})
+	}
 	s.newCopyEdges = 0
 	s.stats.SCCPasses++
 	s.tarjanCopySCCs()
@@ -60,6 +72,14 @@ func (s *solver) tarjanCopySCCs() {
 	var dfs []frame
 
 	for root := 0; root < n; root++ {
+		if root&1023 == 1023 {
+			// Deadline/cancellation polling mid-pass: the condensation walk
+			// performs real work outside the fact counter, and a pass over
+			// a large graph must still honor the job's deadline. The
+			// sentinel unwinds through the frames above; the abandoned
+			// Tarjan state is local to this call and simply dropped.
+			s.pollInterrupt()
+		}
 		if index[root] != 0 || s.find(root) != root {
 			continue
 		}
@@ -170,6 +190,11 @@ func (s *solver) collapse(members []int32) {
 		rn.merged = append(rn.merged, mn.merged...)
 		// Release the member's now-dead storage; the node stays as a
 		// forwarding entry (its info pointer keeps serving processStmt).
+		// The freed words are credited back to the resource meter, so
+		// collapsing lowers budget pressure the way it lowers RSS.
+		if s.meter != nil {
+			s.meter.AddWords(int64(-mn.pts.Words())) //nolint:errcheck // credits cannot exhaust
+		}
 		mn.pts = bitset.Set{}
 		mn.succ = nil
 		mn.edgeSet = nil

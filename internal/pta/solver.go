@@ -7,6 +7,9 @@ import (
 	"time"
 
 	"mahjong/internal/bitset"
+	"mahjong/internal/budget"
+	"mahjong/internal/failure"
+	"mahjong/internal/faultinject"
 	"mahjong/internal/lang"
 	"mahjong/internal/unionfind"
 )
@@ -43,6 +46,15 @@ type Options struct {
 	Heap     HeapModel // defaults to NewAllocSiteModel()
 	Selector Selector  // defaults to CI{}
 	Budget   Budget
+
+	// Meter, when non-nil, charges resource budgets (propagated facts,
+	// live bitset words) as the solve runs; exhausting it aborts the run
+	// with an error wrapping budget.ErrExhausted. Unlike Budget.Work —
+	// which reproduces the paper's "unscalable" cells as a partial
+	// result with Aborted=true — meter exhaustion is a hard failure the
+	// caller is expected to degrade from. The same meter is shared
+	// across pipeline stages so one job draws on one budget.
+	Meter *budget.Meter
 
 	// NoOpt disables the solver's semantics-preserving optimizations
 	// (copy-cycle collapsing and class-indexed filter masks) and falls
@@ -184,6 +196,8 @@ type solver struct {
 	deadline   time.Time
 	hasTimeout bool
 	ctx        context.Context // nil when cancellation is not requested
+	meter      *budget.Meter   // nil when no resource budget is set
+	meterErr   error           // the exhaustion error behind errMeterSentinel
 
 	worklist intRing
 	queued   []bool
@@ -234,12 +248,23 @@ func Solve(prog *lang.Program, opts Options) (*Result, error) {
 // run with an error wrapping context.Canceled or
 // context.DeadlineExceeded. Budget overruns keep Solve's semantics
 // (partial Result, Aborted=true, nil error).
-func SolveContext(ctx context.Context, prog *lang.Program, opts Options) (*Result, error) {
+func SolveContext(ctx context.Context, prog *lang.Program, opts Options) (res *Result, err error) {
+	// Panic isolation: a bug (or injected fault) escaping the solve
+	// surfaces as a typed *failure.InternalError instead of unwinding
+	// the caller — in mahjongd, failing one job instead of the daemon.
+	// The run loop's budget/cancel sentinels are recovered earlier, in
+	// run(); only genuine panics reach this guard.
+	defer failure.Recover(faultinject.StageSolve, &err)
 	if prog.Entry == nil {
 		return nil, errors.New("pta: program has no entry method")
 	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	// The injection seam precedes the deadline check so a hook-injected
+	// slow stage is observed by the job's context like any real stall.
+	if err := faultinject.Fire(faultinject.StageSolve); err != nil {
+		return nil, fmt.Errorf("pta: %w", err)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("pta: analysis not started: %w", err)
@@ -275,14 +300,18 @@ func SolveContext(ctx context.Context, prog *lang.Program, opts Options) (*Resul
 	if ctx != context.Background() {
 		s.ctx = ctx
 	}
+	s.meter = opts.Meter
 	start := time.Now()
 	if opts.Budget.Time > 0 {
 		s.deadline = start.Add(opts.Budget.Time)
 		s.hasTimeout = true
 	}
-	aborted, cancelled := s.run()
+	aborted, cancelled, exhausted := s.run()
 	if cancelled {
 		return nil, fmt.Errorf("pta: analysis interrupted after %d work units: %w", s.work, ctx.Err())
+	}
+	if exhausted {
+		return nil, fmt.Errorf("pta: analysis stopped after %d work units: %w", s.work, s.meterErr)
 	}
 	return &Result{
 		Prog:     prog,
@@ -294,19 +323,24 @@ func SolveContext(ctx context.Context, prog *lang.Program, opts Options) (*Resul
 	}, nil
 }
 
-// run executes the worklist loop; aborted reports a budget overrun,
-// cancelled a context cancellation.
-func (s *solver) run() (aborted, cancelled bool) {
+// run executes the worklist loop; aborted reports a legacy work-budget
+// overrun, cancelled a context cancellation, exhausted a resource-meter
+// overrun (the error itself is in s.meterErr).
+func (s *solver) run() (aborted, cancelled, exhausted bool) {
 	defer func() {
-		// chargeWork unwinds deep processing chains via panic when the
-		// budget runs out or the context is cancelled; anything else is a
-		// real bug and is re-raised.
+		// chargeWork/chargeWords unwind deep processing chains via panic
+		// when a budget runs out or the context is cancelled — including
+		// mid-collapse, while a Tarjan pass is active; anything else is a
+		// real bug and is re-raised (to be typed by SolveContext's stage
+		// guard).
 		switch r := recover(); r {
 		case nil:
 		case errBudgetSentinel:
 			aborted = true
 		case errCancelSentinel:
 			cancelled = true
+		case errMeterSentinel:
+			exhausted = true
 		default:
 			panic(r)
 		}
@@ -354,18 +388,23 @@ func (s *solver) run() (aborted, cancelled bool) {
 		}
 		s.releaseSet(delta)
 	}
-	return false, false
+	return false, false, false
 }
 
 var (
 	errBudgetSentinel = new(int)
 	errCancelSentinel = new(int)
+	errMeterSentinel  = new(int)
 )
 
 func (s *solver) chargeWork(units int64) {
 	s.work += units
 	if s.opts.Budget.Work > 0 && s.work > s.opts.Budget.Work {
 		panic(errBudgetSentinel)
+	}
+	if err := s.meter.AddFacts(units); err != nil {
+		s.meterErr = err
+		panic(errMeterSentinel)
 	}
 	if s.work%4096 < units { // periodic checks, amortized over ~4096 units
 		if s.hasTimeout && time.Now().After(s.deadline) {
@@ -374,6 +413,31 @@ func (s *solver) chargeWork(units int64) {
 		if s.ctx != nil && s.ctx.Err() != nil {
 			panic(errCancelSentinel)
 		}
+	}
+}
+
+// chargeWords meters growth (or, negative, shrinkage) of live
+// points-to-set storage. Like chargeWork it unwinds via sentinel, so
+// exhaustion aborts cleanly from any depth — including mid-collapse.
+func (s *solver) chargeWords(words int) {
+	if s.meter == nil || words == 0 {
+		return
+	}
+	if err := s.meter.AddWords(int64(words)); err != nil {
+		s.meterErr = err
+		panic(errMeterSentinel)
+	}
+}
+
+// pollInterrupt is the no-work-charged variant of chargeWork's periodic
+// checks, called from the collapse pass (which performs graph work that
+// the deterministic fact counter deliberately excludes).
+func (s *solver) pollInterrupt() {
+	if s.hasTimeout && time.Now().After(s.deadline) {
+		panic(errBudgetSentinel)
+	}
+	if s.ctx != nil && s.ctx.Err() != nil {
+		panic(errCancelSentinel)
 	}
 }
 
@@ -513,6 +577,7 @@ func (s *solver) addPts(id int, set *bitset.Set) {
 	if fresh {
 		p = s.grabSet()
 	}
+	wordsBefore := s.nodes[id].pts.Words()
 	if s.nodes[id].pts.UnionInto(set, p) == 0 {
 		if fresh {
 			s.releaseSet(p)
@@ -523,14 +588,17 @@ func (s *solver) addPts(id int, set *bitset.Set) {
 		s.pending[id] = p
 	}
 	s.queue(id)
+	s.chargeWords(s.nodes[id].pts.Words() - wordsBefore)
 }
 
 // addPtsOne adds a single object without building a one-bit set.
 func (s *solver) addPtsOne(id, obj int) {
 	id = s.find(id)
+	wordsBefore := s.nodes[id].pts.Words()
 	if !s.nodes[id].pts.Add(obj) {
 		return
 	}
+	s.chargeWords(s.nodes[id].pts.Words() - wordsBefore)
 	p := s.pending[id]
 	if p == nil {
 		p = s.grabSet()

@@ -100,6 +100,22 @@ func (c *absCache) getOrFill(ctx context.Context, key string, fill func() ([]byt
 	}
 }
 
+// quarantine evicts a filled entry whose bytes failed to rebind.
+// Corruption is sticky — serving the entry again would fail every
+// future hit — so the caller drops it and rebuilds from scratch.
+// In-flight fills are left alone. Reports whether an entry was dropped.
+func (c *absCache) quarantine(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || !e.filled {
+		return false
+	}
+	delete(c.entries, key)
+	c.lru.Remove(e.elem)
+	return true
+}
+
 // evictLocked drops least-recently-used filled entries until the cache
 // fits its capacity. In-flight fills are never evicted.
 func (c *absCache) evictLocked() {

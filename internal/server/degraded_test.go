@@ -1,0 +1,75 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"mahjong/internal/faultinject"
+)
+
+// typesOf fetches the set of types the analysis lets v point to.
+func typesOf(t *testing.T, ts *httptest.Server, jobID, v string) map[string]bool {
+	t.Helper()
+	var pts struct {
+		Types []string `json:"types"`
+	}
+	resp := getJSON(t, fmt.Sprintf("%s/jobs/%s/pointsto?var=Main.main/0%%23%s", ts.URL, jobID, v), &pts)
+	if resp.StatusCode != 200 {
+		t.Fatalf("pointsto %s for job %s: status %d", v, jobID, resp.StatusCode)
+	}
+	out := map[string]bool{}
+	for _, ty := range pts.Types {
+		out[ty] = true
+	}
+	return out
+}
+
+// Degraded results are sound, not merely present: a job that fell back
+// to the allocation-site abstraction must report exactly what a job
+// explicitly requesting heap=alloc-site reports (the fallback IS that
+// analysis), and the paper's ordering — merging only coarsens — means
+// both are subsets of the Mahjong run's type sets per variable.
+func TestDegradedResultMatchesAllocSite(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	t.Cleanup(faultinject.Clear)
+
+	baseline := waitJob(t, ts, submit(t, ts, JobSpec{IR: matrixIR, Analysis: "ci", Heap: "alloc-site"}))
+	if baseline.State != StateDone || baseline.Degraded {
+		t.Fatalf("baseline job: state %s degraded %v", baseline.State, baseline.Degraded)
+	}
+
+	faultinject.Set(faultinject.OnStage(faultinject.StageModel, faultinject.Once(faultinject.PanicWith("injected modeler bug"))))
+	degraded := waitJob(t, ts, submit(t, ts, JobSpec{IR: matrixIR, Analysis: "ci"}))
+	faultinject.Clear()
+	if degraded.State != StateDone || !degraded.Degraded {
+		t.Fatalf("degraded job: state %s degraded %v (error %q)", degraded.State, degraded.Degraded, degraded.Error)
+	}
+
+	mahjongJob := waitJob(t, ts, submit(t, ts, JobSpec{IR: matrixIR, Analysis: "ci"}))
+	if mahjongJob.State != StateDone || mahjongJob.Degraded {
+		t.Fatalf("mahjong job: state %s degraded %v (error %q)", mahjongJob.State, mahjongJob.Degraded, mahjongJob.Error)
+	}
+
+	for _, v := range []string{"x", "y", "z", "w", "c", "u"} {
+		deg := typesOf(t, ts, degraded.ID, v)
+		base := typesOf(t, ts, baseline.ID, v)
+		mj := typesOf(t, ts, mahjongJob.ID, v)
+		if len(deg) != len(base) {
+			t.Fatalf("var %s: degraded types %v != alloc-site types %v", v, deg, base)
+		}
+		for ty := range base {
+			if !deg[ty] {
+				t.Fatalf("var %s: degraded types %v != alloc-site types %v", v, deg, base)
+			}
+			if !mj[ty] {
+				t.Fatalf("var %s: type %s in the baseline but not under Mahjong %v — merging lost a fact", v, ty, mj)
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mahjong"
+)
+
+// FuzzSubmit throws arbitrary bytes at POST /jobs: malformed JSON,
+// absurd timeout_ms values, oversized programs, unknown fields. The
+// server must answer every submission with 202 or a descriptive 4xx —
+// never a panic (a handler panic surfaces as 500 via the recovery
+// middleware and fails the invariant below) and never an accepted
+// garbage job.
+//
+// CI runs this as a smoke (`go test -fuzz=FuzzSubmit -fuzztime=10s`).
+func FuzzSubmit(f *testing.F) {
+	// Seeds: the interesting boundaries, not just noise.
+	f.Add(`{"ir": "entry Main.main/0", "analysis": "ci"}`)
+	f.Add(`{"benchmark": "pmd"}`)
+	f.Add(`not json at all`)
+	f.Add(`{"ir": "x", "benchmark": "pmd"}`)
+	f.Add(`{"timeout_ms": 99999999999999999}`)
+	f.Add(`{"timeout_ms": -5, "ir": "x"}`)
+	f.Add(`{"budget_facts": -1, "ir": "x"}`)
+	f.Add(`{"budget_work": -9223372036854775808, "benchmark": "pmd"}`)
+	f.Add(`{"ir": "` + strings.Repeat("A", 1<<12) + `"}`)
+	f.Add(`{"unknown_field": true, "benchmark": "pmd"}`)
+	f.Add(`{"analysis": "7obj", "benchmark": "pmd"}`)
+	f.Add(`{"heap": "quantum", "benchmark": "pmd"}`)
+	f.Add(`{"degrade": "yes", "benchmark": "pmd"}`)
+	f.Add(`{"ir": 42}`)
+	f.Add(`[]`)
+	f.Add(`{}`)
+	f.Add("\x00\xff\xfe")
+
+	// One shared server for the whole run: a tiny body cap so oversized
+	// inputs exercise 413, a short default deadline and a small budget
+	// so any job a valid submission slips through finishes fast.
+	srv := New(Config{
+		Workers:         2,
+		QueueDepth:      256,
+		MaxProgramBytes: 8 << 10,
+		DefaultTimeout:  250 * time.Millisecond,
+		Budget:          mahjong.ResourceBudget{Facts: 50_000},
+	})
+	ts := httptest.NewServer(srv)
+	f.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+
+	f.Fuzz(func(t *testing.T, body string) {
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatalf("transport error (server died?): %v", err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+
+		switch {
+		case resp.StatusCode == http.StatusAccepted:
+			// Accepted bodies must round-trip through the strict decoder
+			// the handler used — garbage can't sneak into the queue.
+			var spec JobSpec
+			dec := json.NewDecoder(strings.NewReader(body))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&spec); err != nil {
+				t.Fatalf("202 for undecodable body %q: %v", body, err)
+			}
+		case resp.StatusCode >= 400 && resp.StatusCode < 500:
+			// Rejections carry a JSON error message.
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+				t.Fatalf("status %d without a descriptive error body: %q", resp.StatusCode, data)
+			}
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			// Queue full under fuzz load: fine, but must be retriable.
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatalf("503 without Retry-After: %q", data)
+			}
+		default:
+			t.Fatalf("status %d for body %q (response %q)", resp.StatusCode, body, data)
+		}
+	})
+}

@@ -41,6 +41,18 @@ type JobSpec struct {
 	// TimeoutMS is the per-job deadline in milliseconds; 0 uses the
 	// server default. The deadline covers the whole pipeline.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Degrade controls the graceful-degradation fallback: when building
+	// the Mahjong abstraction panics or exhausts its resource budget, the
+	// job re-runs on the plain allocation-site abstraction and its result
+	// is marked degraded. nil uses the server default (on unless the
+	// daemon was started with -no-degrade).
+	Degrade *bool `json:"degrade,omitempty"`
+	// BudgetFacts, BudgetWords and BudgetPairs cap the job's resource
+	// use (propagated facts, live bitset words, automata merge pairs),
+	// overriding the server-wide defaults; 0 keeps the default.
+	BudgetFacts int64 `json:"budget_facts,omitempty"`
+	BudgetWords int64 `json:"budget_words,omitempty"`
+	BudgetPairs int64 `json:"budget_pairs,omitempty"`
 }
 
 // job is one submission. The mutex guards the mutable state; results
@@ -55,9 +67,18 @@ type job struct {
 	state    JobState
 	errMsg   string
 	cacheHit bool
-	started  time.Time
-	finished time.Time
-	cancel   context.CancelFunc // non-nil while running
+	// degraded marks a job that completed on the allocation-site
+	// fallback after the Mahjong pipeline failed; degradedCause records
+	// why (the original error).
+	degraded      bool
+	degradedCause string
+	// retriable marks a failure caused by the server (shutdown before
+	// the job started), not the job itself: the same submission should
+	// succeed on a live server.
+	retriable bool
+	started   time.Time
+	finished  time.Time
+	cancel    context.CancelFunc // non-nil while running
 
 	prog *mahjong.Program
 	abs  *mahjong.Abstraction
@@ -73,9 +94,16 @@ type view struct {
 	Analysis  string   `json:"analysis"`
 	Heap      string   `json:"heap"`
 	CacheHit  bool     `json:"abstraction_cache_hit"`
-	Created   string   `json:"created"`
-	Started   string   `json:"started,omitempty"`
-	Finished  string   `json:"finished,omitempty"`
+	Degraded  bool     `json:"degraded,omitempty"`
+	// DegradedCause explains a degraded result: the error that made the
+	// job fall back to the allocation-site abstraction.
+	DegradedCause string `json:"degraded_cause,omitempty"`
+	// Retriable marks a failure the client should retry (the server shut
+	// down before the job started); paired with HTTP 503 + Retry-After.
+	Retriable bool   `json:"retriable,omitempty"`
+	Created   string `json:"created"`
+	Started   string `json:"started,omitempty"`
+	Finished  string `json:"finished,omitempty"`
 
 	Result *resultView `json:"result,omitempty"`
 }
@@ -100,14 +128,17 @@ func (j *job) view() view {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := view{
-		ID:        j.id,
-		State:     j.state,
-		Error:     j.errMsg,
-		Benchmark: j.spec.Benchmark,
-		Analysis:  defaulted(j.spec.Analysis, "ci"),
-		Heap:      defaulted(j.spec.Heap, string(mahjong.HeapMahjong)),
-		CacheHit:  j.cacheHit,
-		Created:   j.created.UTC().Format(time.RFC3339Nano),
+		ID:            j.id,
+		State:         j.state,
+		Error:         j.errMsg,
+		Benchmark:     j.spec.Benchmark,
+		Analysis:      defaulted(j.spec.Analysis, "ci"),
+		Heap:          defaulted(j.spec.Heap, string(mahjong.HeapMahjong)),
+		CacheHit:      j.cacheHit,
+		Degraded:      j.degraded,
+		DegradedCause: j.degradedCause,
+		Retriable:     j.retriable,
+		Created:       j.created.UTC().Format(time.RFC3339Nano),
 	}
 	if !j.started.IsZero() {
 		v.Started = j.started.UTC().Format(time.RFC3339Nano)

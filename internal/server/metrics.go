@@ -3,19 +3,32 @@ package server
 import (
 	"fmt"
 	"io"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
 
 // metrics holds the daemon's counters. All fields are atomics so that
-// workers, handlers, and the cache update them without a shared lock.
+// workers, handlers, and the cache update them without a shared lock
+// (per-stage failures, being rare by construction, use a small mutex).
 type metrics struct {
 	jobsSubmitted atomic.Int64
 	jobsCompleted atomic.Int64
 	jobsFailed    atomic.Int64
 	jobsCancelled atomic.Int64
-	jobsRejected  atomic.Int64 // queue-full 503s
+	jobsRejected  atomic.Int64 // queue-full and shutting-down 503s
 	jobsRunning   atomic.Int64
+	jobsDegraded  atomic.Int64 // jobs completed on the alloc-site fallback
+
+	panicsRecovered  atomic.Int64 // panics converted to job failures
+	budgetExhausted  atomic.Int64 // jobs hitting a resource budget
+	cacheQuarantined atomic.Int64 // corrupt cache entries evicted
+
+	// stageFailures counts failures by pipeline stage ("pta.solve",
+	// "core.build", "server.cache.load", …).
+	failMu        sync.Mutex
+	stageFailures map[string]int64
 
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
@@ -33,6 +46,26 @@ type metrics struct {
 	solverMaskHits   atomic.Int64 // filtered propagations served by class masks
 }
 
+// noteStageFailure bumps the per-stage failure counter.
+func (m *metrics) noteStageFailure(stage string) {
+	m.failMu.Lock()
+	if m.stageFailures == nil {
+		m.stageFailures = make(map[string]int64)
+	}
+	m.stageFailures[stage]++
+	m.failMu.Unlock()
+}
+
+func (m *metrics) stageFailureSnapshot() map[string]int64 {
+	m.failMu.Lock()
+	defer m.failMu.Unlock()
+	out := make(map[string]int64, len(m.stageFailures))
+	for k, v := range m.stageFailures {
+		out[k] = v
+	}
+	return out
+}
+
 // MetricsSnapshot is the JSON form of /metrics?format=json.
 type MetricsSnapshot struct {
 	JobsSubmitted int64 `json:"jobs_submitted"`
@@ -42,10 +75,17 @@ type MetricsSnapshot struct {
 	JobsRejected  int64 `json:"jobs_rejected"`
 	JobsRunning   int64 `json:"jobs_running"`
 	JobsQueued    int64 `json:"jobs_queued"`
+	JobsDegraded  int64 `json:"jobs_degraded"`
 
-	CacheHits    int64 `json:"abstraction_cache_hits"`
-	CacheMisses  int64 `json:"abstraction_cache_misses"`
-	CacheEntries int64 `json:"abstraction_cache_entries"`
+	PanicsRecovered int64 `json:"panics_recovered"`
+	BudgetExhausted int64 `json:"budget_exhausted"`
+	// StageFailures counts job failures by pipeline stage.
+	StageFailures map[string]int64 `json:"stage_failures"`
+
+	CacheHits        int64 `json:"abstraction_cache_hits"`
+	CacheMisses      int64 `json:"abstraction_cache_misses"`
+	CacheEntries     int64 `json:"abstraction_cache_entries"`
+	CacheQuarantined int64 `json:"abstraction_cache_quarantined"`
 
 	SolverWork     int64 `json:"solver_work_units"`
 	PreAnalysisMS  int64 `json:"pre_analysis_ms"`
@@ -69,10 +109,16 @@ func (m *metrics) snapshot(queued, cacheEntries int) MetricsSnapshot {
 		JobsRejected:  m.jobsRejected.Load(),
 		JobsRunning:   m.jobsRunning.Load(),
 		JobsQueued:    int64(queued),
+		JobsDegraded:  m.jobsDegraded.Load(),
 
-		CacheHits:    m.cacheHits.Load(),
-		CacheMisses:  m.cacheMisses.Load(),
-		CacheEntries: int64(cacheEntries),
+		PanicsRecovered: m.panicsRecovered.Load(),
+		BudgetExhausted: m.budgetExhausted.Load(),
+		StageFailures:   m.stageFailureSnapshot(),
+
+		CacheHits:        m.cacheHits.Load(),
+		CacheMisses:      m.cacheMisses.Load(),
+		CacheEntries:     int64(cacheEntries),
+		CacheQuarantined: m.cacheQuarantined.Load(),
 
 		SolverWork:     m.solverWork.Load(),
 		PreAnalysisMS:  ms(m.preNS.Load()),
@@ -103,9 +149,22 @@ func writeProm(w io.Writer, s MetricsSnapshot) {
 	counter("mahjongd_jobs_rejected_total", "Submissions rejected because the queue was full.", s.JobsRejected)
 	gauge("mahjongd_jobs_running", "Jobs currently executing on the worker pool.", s.JobsRunning)
 	gauge("mahjongd_jobs_queued", "Jobs waiting for a worker.", s.JobsQueued)
+	counter("mahjongd_jobs_degraded_total", "Jobs completed on the allocation-site fallback abstraction.", s.JobsDegraded)
+	counter("mahjongd_panics_recovered_total", "Panics recovered at pipeline-stage boundaries.", s.PanicsRecovered)
+	counter("mahjongd_budget_exhausted_total", "Jobs that hit a resource budget limit.", s.BudgetExhausted)
+	fmt.Fprintf(w, "# HELP mahjongd_stage_failures_total Job failures by pipeline stage.\n# TYPE mahjongd_stage_failures_total counter\n")
+	stages := make([]string, 0, len(s.StageFailures))
+	for stage := range s.StageFailures {
+		stages = append(stages, stage)
+	}
+	sort.Strings(stages)
+	for _, stage := range stages {
+		fmt.Fprintf(w, "mahjongd_stage_failures_total{stage=%q} %d\n", stage, s.StageFailures[stage])
+	}
 	counter("mahjongd_abstraction_cache_hits_total", "Abstraction builds skipped via the cache.", s.CacheHits)
 	counter("mahjongd_abstraction_cache_misses_total", "Abstraction builds performed and cached.", s.CacheMisses)
 	gauge("mahjongd_abstraction_cache_entries", "Abstractions currently cached.", s.CacheEntries)
+	counter("mahjongd_abstraction_cache_quarantined_total", "Corrupt cache entries quarantined.", s.CacheQuarantined)
 	counter("mahjongd_solver_work_units_total", "Points-to propagation work across main analyses.", s.SolverWork)
 	counter("mahjongd_pre_analysis_milliseconds_total", "Time spent in context-insensitive pre-analyses.", s.PreAnalysisMS)
 	counter("mahjongd_fpg_build_milliseconds_total", "Time spent building field points-to graphs.", s.FPGBuildMS)

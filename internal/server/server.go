@@ -18,11 +18,14 @@ import (
 	"net/http"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mahjong"
 	"mahjong/internal/clients"
 	"mahjong/internal/export"
+	"mahjong/internal/failure"
+	"mahjong/internal/faultinject"
 	"mahjong/internal/lang"
 )
 
@@ -38,7 +41,22 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// CacheEntries caps the abstraction cache; 0 = 64, negative = unbounded.
 	CacheEntries int
+	// ShutdownGrace bounds how long Close waits for in-flight jobs
+	// before cancelling them; 0 = 5s, negative = wait forever.
+	ShutdownGrace time.Duration
+	// MaxProgramBytes caps the POST /jobs request body; 0 = 8 MiB.
+	MaxProgramBytes int64
+	// Budget is the default per-job resource budget (zero = unlimited);
+	// submissions may override individual limits.
+	Budget mahjong.ResourceBudget
+	// NoDegrade disables the allocation-site fallback for jobs that do
+	// not set "degrade" explicitly (degradation defaults to on).
+	NoDegrade bool
 }
+
+// maxTimeoutMS caps timeout_ms at 24 hours: beyond that a "timeout" is
+// an absurd value (likely a unit confusion) rather than a deadline.
+const maxTimeoutMS = int64(24 * time.Hour / time.Millisecond)
 
 // Server is the analysis daemon. It implements http.Handler; create
 // one with New and release its workers with Close.
@@ -52,6 +70,13 @@ type Server struct {
 	quit    chan struct{}
 	stop    func()
 	done    chan struct{}
+
+	// closing flips once Close begins: submissions are rejected with a
+	// retriable 503 while in-flight jobs drain.
+	closing atomic.Bool
+	// idleWorkers counts workers blocked waiting for a job; shutdown
+	// watches it to detect that in-flight work has drained.
+	idleWorkers atomic.Int64
 }
 
 // New returns a Server with its worker pool started.
@@ -92,19 +117,95 @@ func New(cfg Config) *Server {
 		close(s.done)
 	}()
 	var closeOnce sync.Once
-	s.stop = func() { closeOnce.Do(func() { close(s.quit) }) }
+	s.stop = func() { closeOnce.Do(s.shutdown) }
 	return s
 }
 
-// Close stops the worker pool after in-flight jobs finish; queued jobs
-// are abandoned in state "queued".
+// Close shuts the server down gracefully: new submissions are rejected
+// with a retriable 503, queued-but-unstarted jobs are failed as
+// retriable, in-flight jobs get Config.ShutdownGrace to finish and are
+// then cancelled, and finally the worker pool exits. Close returns once
+// every worker has stopped.
 func (s *Server) Close() {
 	s.stop()
 	<-s.done
+	// Workers are gone; fail anything a concurrent submit raced into
+	// the queue after the first drain.
+	s.failQueued()
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// shutdown implements the drain sequence (runs once, via s.stop).
+func (s *Server) shutdown() {
+	s.closing.Store(true)
+	s.failQueued()
+	grace := s.cfg.ShutdownGrace
+	if grace == 0 {
+		grace = 5 * time.Second
+	}
+	if grace > 0 {
+		deadline := time.Now().Add(grace)
+		for time.Now().Before(deadline) {
+			if s.idleWorkers.Load() == int64(s.cfg.Workers) && len(s.queue) == 0 {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		// Grace expired (or everything drained): cancel whatever is
+		// still running so the workers can exit promptly. The solver and
+		// merge workers poll their context, so cancellation propagates.
+		s.cancelRunning()
+	}
+	close(s.quit)
+}
+
+// failQueued drains the queue, failing each not-yet-started job as
+// retriable: on a dying server "queued" would otherwise be a forever
+// state, and the same submission succeeds on a live server.
+func (s *Server) failQueued() {
+	for {
+		select {
+		case j := <-s.queue:
+			j.mu.Lock()
+			if j.state == StateQueued {
+				j.state = StateFailed
+				j.retriable = true
+				j.errMsg = "server shutting down before the job started; retry against a live server"
+				j.finished = time.Now()
+				s.metrics.jobsFailed.Add(1)
+			}
+			j.mu.Unlock()
+		default:
+			return
+		}
+	}
+}
+
+// cancelRunning cancels the context of every running job.
+func (s *Server) cancelRunning() {
+	for _, j := range s.store.list() {
+		j.mu.Lock()
+		if j.state == StateRunning && j.cancel != nil {
+			j.cancel()
+		}
+		j.mu.Unlock()
+	}
+}
+
+// ServeHTTP implements http.Handler. A panic in a handler is recovered
+// into a 500 (per-request isolation; http.ErrAbortHandler passes
+// through as the net/http-sanctioned abort).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if rec == http.ErrAbortHandler { //nolint:errorlint // sentinel comparison per net/http docs
+				panic(rec)
+			}
+			s.metrics.panicsRecovered.Add(1)
+			httpError(w, http.StatusInternalServerError, "internal error: %v", rec)
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -123,10 +224,26 @@ func (s *Server) routes() {
 // ---- submission ----
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		w.Header().Set("Retry-After", "1")
+		s.metrics.jobsRejected.Add(1)
+		httpError(w, http.StatusServiceUnavailable, "server is shutting down; retry against a live server")
+		return
+	}
+	maxBytes := s.cfg.MaxProgramBytes
+	if maxBytes <= 0 {
+		maxBytes = 8 << 20
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
 	var spec JobSpec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
 		return
 	}
@@ -165,12 +282,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "timeout_ms and budget_work must be non-negative")
 		return
 	}
+	if spec.TimeoutMS > maxTimeoutMS {
+		httpError(w, http.StatusBadRequest, "timeout_ms %d exceeds the maximum of %d (24h)", spec.TimeoutMS, maxTimeoutMS)
+		return
+	}
+	if spec.BudgetFacts < 0 || spec.BudgetWords < 0 || spec.BudgetPairs < 0 {
+		httpError(w, http.StatusBadRequest, "budget_facts, budget_words and budget_pairs must be non-negative")
+		return
+	}
 
 	j := s.store.add(spec, prog)
 	select {
 	case s.queue <- j:
 	default:
 		s.metrics.jobsRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "job queue full (%d pending)", s.cfg.QueueDepth)
 		return
 	}
@@ -182,10 +308,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) worker() {
 	for {
+		s.idleWorkers.Add(1)
 		select {
 		case <-s.quit:
 			return
 		case j := <-s.queue:
+			s.idleWorkers.Add(-1)
 			s.runJob(j)
 		}
 	}
@@ -215,7 +343,7 @@ func (s *Server) runJob(j *job) {
 	defer cancel()
 
 	s.metrics.jobsRunning.Add(1)
-	err := s.execute(ctx, j)
+	err := s.executeIsolated(ctx, j)
 	s.metrics.jobsRunning.Add(-1)
 
 	j.mu.Lock()
@@ -226,6 +354,9 @@ func (s *Server) runJob(j *job) {
 	case err == nil:
 		j.state = StateDone
 		s.metrics.jobsCompleted.Add(1)
+		if j.degraded {
+			s.metrics.jobsDegraded.Add(1)
+		}
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.state = StateCancelled
 		j.errMsg = err.Error()
@@ -237,9 +368,90 @@ func (s *Server) runJob(j *job) {
 	}
 }
 
+// executeIsolated is the worker's outermost failure boundary: a panic
+// escaping the server-side job plumbing itself (the pipeline stages
+// carry their own guards) becomes a typed failure of this one job — the
+// worker, the pool, and the daemon survive.
+func (s *Server) executeIsolated(ctx context.Context, j *job) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = failure.AsInternal(faultinject.StageJob, rec)
+		}
+		s.noteFailure(err)
+	}()
+	if err := faultinject.Fire(faultinject.StageJob); err != nil {
+		return fmt.Errorf("job worker: %w", err)
+	}
+	return s.execute(ctx, j)
+}
+
+// noteFailure records failure-classification metrics for a finished
+// job: per-stage counters for internal (panic-recovered) errors, and
+// the budget-exhaustion counter.
+func (s *Server) noteFailure(err error) {
+	if err == nil {
+		return
+	}
+	var ie *mahjong.InternalError
+	if errors.As(err, &ie) {
+		s.metrics.panicsRecovered.Add(1)
+		s.metrics.noteStageFailure(ie.Stage)
+	}
+	if errors.Is(err, mahjong.ErrBudgetExhausted) {
+		s.metrics.budgetExhausted.Add(1)
+	}
+}
+
+// degradeEnabled resolves a job's degrade setting against the server
+// default.
+func (s *Server) degradeEnabled(spec JobSpec) bool {
+	if spec.Degrade != nil {
+		return *spec.Degrade
+	}
+	return !s.cfg.NoDegrade
+}
+
+// degradable reports whether err is the kind of failure graceful
+// degradation answers: an internal (panic-recovered) error or resource
+// budget exhaustion. Cancellation and deadline errors are not
+// degradable — the job is out of time either way.
+func degradable(err error) bool {
+	var ie *mahjong.InternalError
+	if errors.As(err, &ie) {
+		return true
+	}
+	return errors.Is(err, mahjong.ErrBudgetExhausted)
+}
+
+// budgetFor resolves a job's resource budget: the server default with
+// per-job overrides.
+func (s *Server) budgetFor(spec JobSpec) mahjong.ResourceBudget {
+	b := s.cfg.Budget
+	if spec.BudgetFacts > 0 {
+		b.Facts = spec.BudgetFacts
+	}
+	if spec.BudgetWords > 0 {
+		b.BitsetWords = spec.BudgetWords
+	}
+	if spec.BudgetPairs > 0 {
+		b.MergePairs = spec.BudgetPairs
+	}
+	return b
+}
+
 // execute runs the job's pipeline under ctx and stores results on j.
 // Writes to j.prog/abs/rep happen-before the terminal state transition
 // in runJob, which is what status handlers synchronize on.
+//
+// Graceful degradation: when building the Mahjong abstraction — or the
+// main analysis on top of it — fails with a degradable error (an
+// internal panic-recovered error or resource-budget exhaustion) and
+// the job allows it, the analysis re-runs on the plain allocation-site
+// abstraction. That abstraction is the paper's sound baseline (Mahjong
+// merges its objects; alloc-site never merges), so the degraded result
+// is sound, merely less compact; the job is marked degraded with the
+// original error as cause. Degraded runs build no Mahjong abstraction,
+// so nothing degraded can ever enter the cache.
 func (s *Server) execute(ctx context.Context, j *job) error {
 	prog := j.prog
 	if prog == nil {
@@ -256,24 +468,44 @@ func (s *Server) execute(ctx context.Context, j *job) error {
 		return err
 	}
 
+	degrade := s.degradeEnabled(j.spec)
+	resources := s.budgetFor(j.spec)
 	cfg := mahjong.Config{
 		Analysis:   j.spec.Analysis,
 		Heap:       mahjong.HeapKind(defaulted(j.spec.Heap, string(mahjong.HeapMahjong))),
 		BudgetWork: j.spec.BudgetWork,
+		Resources:  resources,
 	}
 	if cfg.Heap == mahjong.HeapMahjong {
-		abs, hit, err := s.abstractionFor(ctx, prog)
-		if err != nil {
+		abs, hit, err := s.abstractionFor(ctx, prog, resources)
+		switch {
+		case err == nil:
+			cfg.Abstraction = abs
+			j.mu.Lock()
+			j.abs = abs
+			j.cacheHit = hit
+			j.mu.Unlock()
+		case degrade && degradable(err):
+			s.noteFailure(err)
+			s.markDegraded(j, err)
+			cfg.Heap = mahjong.HeapAllocSite
+			cfg.Abstraction = nil
+		default:
 			return err
 		}
-		cfg.Abstraction = abs
-		j.mu.Lock()
-		j.abs = abs
-		j.cacheHit = hit
-		j.mu.Unlock()
 	}
 
 	rep, err := mahjong.AnalyzeContext(ctx, prog, cfg)
+	if err != nil && degrade && degradable(err) && cfg.Heap == mahjong.HeapMahjong {
+		// The main analysis itself failed on the Mahjong abstraction
+		// (e.g. a client-evaluation bug): one more attempt on the
+		// allocation-site baseline.
+		s.noteFailure(err)
+		s.markDegraded(j, err)
+		cfg.Heap = mahjong.HeapAllocSite
+		cfg.Abstraction = nil
+		rep, err = mahjong.AnalyzeContext(ctx, prog, cfg)
+	}
 	if err != nil {
 		return err
 	}
@@ -289,41 +521,72 @@ func (s *Server) execute(ctx context.Context, j *job) error {
 	return nil
 }
 
+// markDegraded records that j fell back to the allocation-site
+// abstraction because of cause.
+func (s *Server) markDegraded(j *job, cause error) {
+	j.mu.Lock()
+	j.degraded = true
+	j.degradedCause = cause.Error()
+	j.abs = nil // a partial abstraction must not serve query endpoints
+	j.mu.Unlock()
+}
+
 // abstractionFor returns prog's Mahjong abstraction, via the cache when
 // an identical program (by canonical-IR content hash) was built before.
 // Cache hits rebind the persisted equivalence classes to prog's own
 // allocation sites through the core persistence layer.
-func (s *Server) abstractionFor(ctx context.Context, prog *mahjong.Program) (*mahjong.Abstraction, bool, error) {
+//
+// A cached entry whose bytes fail to rebind (corruption) is quarantined
+// — evicted so it cannot poison later jobs — and the abstraction is
+// rebuilt from scratch once. Failed builds are never cached (getOrFill
+// drops the entry), so degraded or poisoned results cannot enter the
+// cache.
+func (s *Server) abstractionFor(ctx context.Context, prog *mahjong.Program, resources mahjong.ResourceBudget) (*mahjong.Abstraction, bool, error) {
 	key := cacheKey(mahjong.PrintProgram(prog))
-	var built *mahjong.Abstraction
-	data, hit, err := s.cache.getOrFill(ctx, key, func() ([]byte, error) {
-		abs, err := mahjong.BuildAbstractionContext(ctx, prog, mahjong.AbstractionOptions{})
+	for attempt := 0; ; attempt++ {
+		var built *mahjong.Abstraction
+		data, hit, err := s.cache.getOrFill(ctx, key, func() ([]byte, error) {
+			abs, err := mahjong.BuildAbstractionContext(ctx, prog, mahjong.AbstractionOptions{
+				Resources: resources,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.metrics.preNS.Add(abs.PreTime.Nanoseconds())
+			s.metrics.fpgNS.Add(abs.FPGTime.Nanoseconds())
+			s.metrics.mergeNS.Add(abs.ModelTime.Nanoseconds())
+			var buf bytes.Buffer
+			if err := abs.Save(&buf); err != nil {
+				return nil, err
+			}
+			built = abs
+			return buf.Bytes(), nil
+		})
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		s.metrics.preNS.Add(abs.PreTime.Nanoseconds())
-		s.metrics.fpgNS.Add(abs.FPGTime.Nanoseconds())
-		s.metrics.mergeNS.Add(abs.ModelTime.Nanoseconds())
-		var buf bytes.Buffer
-		if err := abs.Save(&buf); err != nil {
-			return nil, err
+		if !hit && built != nil {
+			s.metrics.cacheMisses.Add(1)
+			return built, false, nil
 		}
-		built = abs
-		return buf.Bytes(), nil
-	})
-	if err != nil {
-		return nil, false, err
+		s.metrics.cacheHits.Add(1)
+		// The fault-injection seam corrupts cached bytes here, the same
+		// place bit rot or a buggy serializer would.
+		data = faultinject.Mutate(faultinject.StageCacheLoad, data)
+		abs, err := mahjong.LoadAbstraction(bytes.NewReader(data), prog)
+		if err == nil {
+			return abs, true, nil
+		}
+		s.metrics.noteStageFailure(faultinject.StageCacheLoad)
+		if s.cache.quarantine(key) {
+			s.metrics.cacheQuarantined.Add(1)
+		}
+		if attempt > 0 {
+			return nil, false, fmt.Errorf("rebinding cached abstraction: %w", err)
+		}
+		// First corruption for this job: the poisoned entry is gone;
+		// loop to rebuild from scratch.
 	}
-	if !hit && built != nil {
-		s.metrics.cacheMisses.Add(1)
-		return built, false, nil
-	}
-	s.metrics.cacheHits.Add(1)
-	abs, err := mahjong.LoadAbstraction(bytes.NewReader(data), prog)
-	if err != nil {
-		return nil, false, fmt.Errorf("rebinding cached abstraction: %w", err)
-	}
-	return abs, true, nil
 }
 
 // ---- status and control ----
@@ -357,7 +620,15 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
-	writeJSON(w, http.StatusOK, j.view())
+	v := j.view()
+	if v.Retriable {
+		// The job failed only because the server shut down before it
+		// started; tell the client to resubmit elsewhere/later.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, v)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mahjong/internal/faultinject"
+)
+
+// pollJob fetches a job's status without asserting the HTTP code
+// (waitJob fatals on non-200, but retriable shutdown failures are
+// served as 503).
+func pollJob(t *testing.T, ts *httptest.Server, id string) (view, int) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v view
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("GET /jobs/%s: decoding: %v", id, err)
+	}
+	return v, resp.StatusCode
+}
+
+// Shutdown under load: one job is running (its worker parked inside an
+// injected slow stage), more are queued behind the single worker. Close
+// must fail the queued jobs as retriable — surfaced over HTTP as 503
+// with Retry-After — cancel the running job once the grace expires,
+// reject new submissions, and still return promptly.
+func TestShutdownUnderLoad(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 8, ShutdownGrace: 30 * time.Millisecond})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	release := make(chan struct{})
+	t.Cleanup(faultinject.Clear)
+	faultinject.Set(faultinject.OnStage(faultinject.StageSolve, func(string) error {
+		select {
+		case <-release:
+		case <-time.After(10 * time.Second): // never wedge the suite
+		}
+		return nil
+	}))
+
+	running := submit(t, ts, JobSpec{IR: testIR, Analysis: "ci"})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v, _ := pollJob(t, ts, running); v.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started running")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	queued := []string{
+		submit(t, ts, JobSpec{IR: testIR, Analysis: "ci"}),
+		submit(t, ts, JobSpec{IR: testIR, Analysis: "ci"}),
+	}
+
+	closed := make(chan struct{})
+	go func() { srv.Close(); close(closed) }()
+
+	// The closing flag flips before the drain; new submissions bounce
+	// with a retriable 503.
+	for {
+		resp, data := postJSON(t, ts.URL+"/jobs", JobSpec{IR: testIR})
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatalf("shutdown rejection lacks Retry-After, body %s", data)
+			}
+			if !strings.Contains(string(data), "shutting down") {
+				t.Fatalf("shutdown rejection not descriptive: %s", data)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("submissions never started bouncing during Close")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// quit closes only after the grace expired and cancelRunning fired;
+	// releasing the parked worker earlier would let the job finish
+	// normally instead of observing its cancelled context.
+	select {
+	case <-srv.quit:
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown never reached the cancel-running phase")
+	}
+	close(release)
+
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not return")
+	}
+
+	// Queued-but-unstarted jobs: failed, retriable, 503 + Retry-After.
+	for _, id := range queued {
+		v, code := pollJob(t, ts, id)
+		if v.State != StateFailed || !v.Retriable {
+			t.Fatalf("queued job %s: state %s retriable %v, want retriable failed", id, v.State, v.Retriable)
+		}
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("queued job %s served with %d, want 503", id, code)
+		}
+		if !strings.Contains(v.Error, "retry") {
+			t.Fatalf("queued job %s error not actionable: %q", id, v.Error)
+		}
+	}
+
+	// The in-flight job was cancelled once the grace expired (the grace
+	// is far shorter than the injected stall).
+	v, code := pollJob(t, ts, running)
+	if v.State != StateCancelled {
+		t.Fatalf("running job: state %s (error %q), want cancelled", v.State, v.Error)
+	}
+	if code != http.StatusOK {
+		t.Fatalf("cancelled job served with %d, want 200", code)
+	}
+
+	// Submissions after Close keep bouncing.
+	resp, _ := postJSON(t, ts.URL+"/jobs", JobSpec{IR: testIR})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-Close submit: status %d, want 503", resp.StatusCode)
+	}
+
+	var m MetricsSnapshot
+	getJSON(t, ts.URL+"/metrics?format=json", &m)
+	if m.JobsFailed < int64(len(queued)) {
+		t.Fatalf("jobs_failed %d, want >= %d", m.JobsFailed, len(queued))
+	}
+	if m.JobsCancelled < 1 {
+		t.Fatalf("jobs_cancelled %d, want >= 1", m.JobsCancelled)
+	}
+}
+
+// Close on an idle server lets nothing linger: it returns promptly and
+// is idempotent.
+func TestShutdownIdleIsPrompt(t *testing.T) {
+	srv := New(Config{Workers: 2, ShutdownGrace: 5 * time.Second})
+	start := time.Now()
+	srv.Close()
+	srv.Close() // idempotent
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("idle Close took %v; the grace period must not be waited out with no work in flight", d)
+	}
+}

@@ -32,8 +32,11 @@ import (
 	"time"
 
 	"mahjong/internal/bench"
+	"mahjong/internal/budget"
 	"mahjong/internal/clients"
 	"mahjong/internal/core"
+	"mahjong/internal/failure"
+	"mahjong/internal/faultinject"
 	"mahjong/internal/fpg"
 	"mahjong/internal/lang"
 	"mahjong/internal/parser"
@@ -105,6 +108,10 @@ type AbstractionOptions struct {
 	OmitNullNode bool
 	// PreBudget caps the pre-analysis (0 = unlimited).
 	PreBudget int64
+	// Resources caps what the whole pipeline (pre-analysis, FPG, heap
+	// modeler) may consume; exhaustion aborts with an error wrapping
+	// ErrBudgetExhausted. Zero value = unlimited.
+	Resources ResourceBudget
 }
 
 // Abstraction is a built Mahjong heap abstraction: the merged-object
@@ -168,6 +175,30 @@ func (a *Abstraction) SizeHistogram() [][2]int { return a.res.SizeHistogram() }
 // deterministic work budget; test with errors.Is.
 var ErrBudget = pta.ErrBudget
 
+// ErrBudgetExhausted is returned (wrapped) when a pipeline stage
+// exhausts a ResourceBudget; test with errors.Is. Unlike the legacy
+// work budget (Config.BudgetWork → Report.Scalable=false, nil error),
+// resource-budget exhaustion is a hard failure that callers may answer
+// by degrading to the allocation-site abstraction.
+var ErrBudgetExhausted = budget.ErrExhausted
+
+// ResourceBudget caps the resources one pipeline run may consume; the
+// zero value means unlimited. The three knobs bound, respectively,
+// propagated points-to facts (solver work + FPG edge facts), live
+// 64-bit words backing points-to bitsets, and automata-equivalence
+// merge-pair tests. One budget covers ALL stages of a run: a solve
+// that uses most of the fact budget leaves little for FPG
+// construction, which is the point — the budget bounds the job, not
+// each stage.
+type ResourceBudget = budget.Limits
+
+// InternalError is a panic recovered at a pipeline-stage boundary and
+// converted into an error: a bug (or injected fault) in one stage
+// fails that run with a typed, stage-attributed error instead of
+// tearing down the process. Retrieve with errors.As to learn the stage
+// and captured stack.
+type InternalError = failure.InternalError
+
 // BuildAbstraction runs the Mahjong pipeline of Figure 5: the fast
 // context-insensitive pre-analysis, FPG construction, and the heap
 // modeler (Algorithm 1).
@@ -180,8 +211,16 @@ func BuildAbstraction(p *Program, opts AbstractionOptions) (*Abstraction, error)
 // ctx, and a cancelled or timed-out context aborts with an error
 // wrapping context.Canceled or context.DeadlineExceeded.
 func BuildAbstractionContext(ctx context.Context, p *Program, opts AbstractionOptions) (*Abstraction, error) {
+	// One meter for the whole pipeline: a greedy pre-analysis leaves less
+	// budget for FPG construction and modeling, bounding the job's total
+	// resource use rather than each stage's.
+	meter := budget.NewMeter(opts.Resources)
+
 	t0 := time.Now()
-	pre, err := pta.SolveContext(ctx, p, pta.Options{Budget: pta.Budget{Work: opts.PreBudget}})
+	pre, err := pta.SolveContext(ctx, p, pta.Options{
+		Budget: pta.Budget{Work: opts.PreBudget},
+		Meter:  meter,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("mahjong: pre-analysis: %w", err)
 	}
@@ -191,7 +230,13 @@ func BuildAbstractionContext(ctx context.Context, p *Program, opts AbstractionOp
 	preTime := time.Since(t0)
 
 	t1 := time.Now()
-	g := fpg.Build(pre, fpg.Options{OmitNullNode: opts.OmitNullNode})
+	g, err := fpg.BuildContext(ctx, pre, fpg.Options{
+		OmitNullNode: opts.OmitNullNode,
+		Meter:        meter,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mahjong: fpg: %w", err)
+	}
 	fpgTime := time.Since(t1)
 
 	policy := core.RepFirst
@@ -202,6 +247,7 @@ func BuildAbstractionContext(ctx context.Context, p *Program, opts AbstractionOp
 		Workers:        opts.Workers,
 		Policy:         policy,
 		DisableSharing: opts.DisableSharedAutomata,
+		Meter:          meter,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("mahjong: heap modeling: %w", err)
@@ -237,6 +283,11 @@ type Config struct {
 	// wall-clock time. Exceeding either aborts with Report.Scalable=false.
 	BudgetWork int64
 	BudgetTime time.Duration
+	// Resources caps what the run may consume (see ResourceBudget).
+	// Unlike BudgetWork's partial-result semantics, exhaustion is a hard
+	// failure: AnalyzeContext returns an error wrapping
+	// ErrBudgetExhausted and no Report.
+	Resources ResourceBudget
 }
 
 // Report is the outcome of Analyze.
@@ -297,6 +348,7 @@ func AnalyzeContext(ctx context.Context, p *Program, cfg Config) (*Report, error
 		Selector: sel,
 		Heap:     heap,
 		Budget:   pta.Budget{Work: cfg.BudgetWork, Time: cfg.BudgetTime},
+		Meter:    budget.NewMeter(cfg.Resources),
 	})
 	if err != nil {
 		return nil, err
@@ -311,9 +363,23 @@ func AnalyzeContext(ctx context.Context, p *Program, cfg Config) (*Report, error
 		result:    r,
 	}
 	if rep.Scalable {
-		rep.Metrics = clients.Evaluate(r)
+		rep.Metrics, err = evaluateClients(r)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return rep, nil
+}
+
+// evaluateClients runs the three type-dependent clients behind the
+// "clients.evaluate" stage guard: a bug in a client metric fails the
+// run with an *InternalError instead of crashing the caller.
+func evaluateClients(r *pta.Result) (m clients.Metrics, err error) {
+	defer failure.Recover(faultinject.StageClients, &err)
+	if err := faultinject.Fire(faultinject.StageClients); err != nil {
+		return clients.Metrics{}, fmt.Errorf("mahjong: clients: %w", err)
+	}
+	return clients.Evaluate(r), nil
 }
 
 // ValidAnalysis reports whether name is accepted by Config.Analysis
