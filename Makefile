@@ -11,9 +11,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-lint:
+lint: ## go vet + gofmt + the project's own analyzer suite (docs/LINT.md)
 	$(GO) vet ./...
-	gofmt -l .
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then echo "gofmt needed:"; echo "$$fmt_out"; exit 1; fi
+	$(GO) build -o bin/mahjongvet ./cmd/mahjongvet
+	./bin/mahjongvet ./...
 
 serve: ## run the analysis daemon on :8080
 	$(GO) run ./cmd/mahjongd -addr=:8080

@@ -1,0 +1,75 @@
+// mahjongvet is the project's invariant checker: a multichecker running the
+// internal/lint analyzer suite over the module.
+//
+//	mahjongvet [-run ctxflow,stagehook] [-list] [packages]
+//
+// With no package patterns it checks ./... . Diagnostics print one per line
+// as file:line:col: message [analyzer]; the exit status is 1 when any
+// diagnostic is reported, 2 on a usage or load error.
+//
+// The five analyzers enforce invariants the compiler cannot see and the
+// paper's soundness argument depends on — threaded cancellation (ctxflow),
+// panic-recovery seams (recoverseam), borrowed-bitset discipline
+// (bitsetalias), deterministic persist/export output (mapdeterminism), and
+// agreement of the stage registries (stagehook). See docs/LINT.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mahjong/internal/lint"
+)
+
+func main() {
+	var (
+		runList  = flag.String("run", "", "comma-separated subset of analyzers to run (default: all)")
+		listOnly = flag.Bool("list", false, "list the analyzers and exit")
+	)
+	flag.Parse()
+
+	all := lint.Analyzers()
+	if *listOnly {
+		for _, a := range all {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *runList != "" {
+		byName := make(map[string]*lint.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*runList, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "mahjongvet: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mahjongvet: %v\n", err)
+		os.Exit(2)
+	}
+	diags := lint.RunAnalyzers(pkgs, analyzers, false)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mahjongvet: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

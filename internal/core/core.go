@@ -99,7 +99,7 @@ func (c Class) Size() int { return len(c.Members) }
 // Build runs Algorithm 1 on the FPG.
 func Build(g *fpg.Graph, opts Options) *Result {
 	opts.Meter = nil
-	res, err := BuildContext(context.Background(), g, opts)
+	res, err := BuildContext(context.Background(), g, opts) //lint:allow ctxflow Build is the documented context-free compat shim over BuildContext
 	if err != nil {
 		// Background contexts are never cancelled and unmetered builds
 		// cannot exhaust; any error here is a bug (or an injected fault
@@ -123,7 +123,7 @@ func BuildContext(ctx context.Context, g *fpg.Graph, opts Options) (res *Result,
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //lint:allow ctxflow nil-context normalization at the API boundary, not a detached root
 	}
 	start := time.Now()
 	workers := opts.Workers

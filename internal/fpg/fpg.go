@@ -79,7 +79,7 @@ type Options struct {
 // BuildContext.
 func Build(r *pta.Result, opts Options) *Graph {
 	opts.Meter = nil
-	g, err := BuildContext(context.Background(), r, opts)
+	g, err := BuildContext(context.Background(), r, opts) //lint:allow ctxflow Build is the documented context-free compat shim over BuildContext
 	if err != nil {
 		panic(err)
 	}

@@ -1,0 +1,117 @@
+// Package linttest verifies lint analyzers against testdata fixtures, in the
+// style of golang.org/x/tools/go/analysis/analysistest: fixture source lines
+// carry
+//
+//	code under test // want "regexp" "another regexp"
+//
+// comments naming, as regular expressions, the diagnostic messages the
+// analyzers must report on that line. Every diagnostic must match an
+// expectation on its line and every expectation must be matched by a
+// diagnostic; either mismatch fails the test.
+//
+// Fixtures run with lint's Forced flag set, so scope predicates that key on
+// real module import paths (Pass.InScope, Pass.UnderInternal) answer true for
+// packages under testdata.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mahjong/internal/lint"
+)
+
+// quotedRE matches one Go-quoted string literal inside a want comment.
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// expectation is one want pattern awaiting a matching diagnostic.
+type expectation struct {
+	re       *regexp.Regexp
+	raw      string
+	consumed bool
+}
+
+// Run loads the packages matching patterns (resolved relative to dir, which
+// is relative to the test's working directory), runs analyzers over them with
+// fixture scoping forced, and matches the resulting diagnostics against the
+// fixtures' want expectations.
+func Run(t *testing.T, dir string, analyzers []*lint.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, diags := Analyze(t, dir, analyzers, patterns...)
+
+	wants := make(map[string][]*expectation)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, "// want ")
+					if idx < 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Slash)
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					quoted := quotedRE.FindAllString(c.Text[idx:], -1)
+					if len(quoted) == 0 {
+						t.Fatalf("%s: want comment carries no quoted pattern: %s", key, c.Text)
+					}
+					for _, q := range quoted {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: unquoting want pattern %s: %v", key, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: compiling want pattern %q: %v", key, pat, err)
+						}
+						wants[key] = append(wants[key], &expectation{re: re, raw: pat})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.consumed && w.re.MatchString(d.Message) {
+				w.consumed = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s [%s]", key, d.Message, d.Check)
+		}
+	}
+
+	keys := make([]string, 0, len(wants))
+	for key := range wants {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		for _, w := range wants[key] {
+			if !w.consumed {
+				t.Errorf("missing diagnostic at %s: no finding matched %q", key, w.raw)
+			}
+		}
+	}
+}
+
+// Analyze loads the fixture packages and returns them along with the
+// diagnostics the analyzers produce (allow suppression applied, positions
+// sorted). Tests that assert on diagnostics directly — rather than through
+// want comments — use this; Run is the want-comment front end.
+func Analyze(t *testing.T, dir string, analyzers []*lint.Analyzer, patterns ...string) ([]*lint.Package, []lint.Diagnostic) {
+	t.Helper()
+	pkgs, err := lint.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", patterns, err)
+	}
+	return pkgs, lint.RunAnalyzers(pkgs, analyzers, true)
+}

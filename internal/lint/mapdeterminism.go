@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapDeterminism guards the canonicalization that mahjongd's abstraction
+// cache depends on: cache keys are content hashes of Save/export output, and
+// /metrics is scraped and diffed, so every byte of that output must be a
+// pure function of the analyzed program — never of Go's randomized map
+// iteration order.
+//
+// In the output-producing packages (internal/core's persist layer,
+// internal/export, internal/server), the analyzer flags `for … range m` over
+// a map when the loop body
+//
+//   - appends to a slice that is never passed to a sort.* / slices.Sort*
+//     call later in the same function (the collect-then-sort idiom is the
+//     sanctioned pattern, as in core.(*Result).Save), or
+//
+//   - writes directly to an encoder or writer (fmt.Fprint*, Encode, Write,
+//     WriteString): no later sort can repair bytes already emitted in map
+//     order.
+//
+// Iteration that only fills another map or aggregates order-independent
+// values (sums, counters) is not flagged.
+var MapDeterminism = &Analyzer{
+	Name: "mapdeterminism",
+	Doc: "map iteration feeding Save/export//metrics output must be canonicalized " +
+		"(collect, sort, then emit); cache keys hash that output",
+	Run: runMapDeterminism,
+}
+
+func runMapDeterminism(pass *Pass) {
+	if !pass.InScope("mahjong/internal/core", "mahjong/internal/export", "mahjong/internal/server") {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkMapLoops(pass, fn)
+		}
+	}
+}
+
+func checkMapLoops(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.Info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapLoopBody(pass, fn, rng)
+		return true
+	})
+}
+
+func checkMapLoopBody(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "append" {
+					continue
+				}
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+					continue
+				}
+				if i >= len(n.Lhs) {
+					continue
+				}
+				target := n.Lhs[i]
+				if !sortedLater(pass, fn, rng, target) {
+					pass.Reportf(n.Pos(), "%s accumulates in map-iteration order and is never sorted afterwards in %s: persisted/exported output built from it is nondeterministic, which breaks cache keys and diffable /metrics (collect, sort.*, then emit)", types.ExprString(target), fn.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			if reportDirectEmit(pass, n) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// sortedLater reports whether target is passed to a sort.* or slices.Sort*
+// call after the range loop, within the same function.
+func sortedLater(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, target ast.Expr) bool {
+	want := types.ExprString(target)
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		callee := calleeOf(pass.Info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if p := callee.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if types.ExprString(arg) == want {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// reportDirectEmit flags calls inside a map loop that push bytes straight to
+// an encoder or writer.
+func reportDirectEmit(pass *Pass, call *ast.CallExpr) bool {
+	callee := calleeOf(pass.Info, call)
+	if callee == nil {
+		return false
+	}
+	name := callee.Name()
+	if pkg := callee.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+		if name == "Fprintf" || name == "Fprintln" || name == "Fprint" {
+			pass.Reportf(call.Pos(), "fmt.%s inside map iteration emits bytes in map order; no later sort can canonicalize them — collect into a slice, sort, then write", name)
+			return true
+		}
+		return false
+	}
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch name {
+		case "Encode", "Write", "WriteString", "WriteByte", "WriteRune":
+			pass.Reportf(call.Pos(), "%s inside map iteration emits bytes in map order; no later sort can canonicalize them — collect into a slice, sort, then write", name)
+			return true
+		}
+	}
+	return false
+}

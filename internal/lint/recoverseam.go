@@ -1,0 +1,297 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// RecoverSeam enforces the panic-isolation contract of docs/ROBUSTNESS.md:
+// one poisoned program fails one job, never the process, and the failing
+// stage stays attributable.
+//
+// Three checks:
+//
+//  1. Entry points — every exported package-level function in internal/pta,
+//     internal/fpg, internal/core, and internal/clients that takes a
+//     context.Context and returns an error is a pipeline stage boundary and
+//     must install `defer failure.Recover(stage, &err)` on its named error
+//     result, so an escaping panic becomes a typed *mahjong.InternalError.
+//
+//  2. Recovered values — in the stage packages and the server, a deferred
+//     recover() whose value is assigned to an error variable must wrap it
+//     with failure.AsInternal (or assign through failure.Recover): a raw
+//     `err = rec.(error)`-style assignment loses the stage name and the
+//     stack that /metrics and degradation decisions depend on.
+//
+//  3. Stage names — everywhere in the module, the stage argument of
+//     failure.Recover/failure.AsInternal and the Stage field of a
+//     failure.InternalError literal must be a constant matching the
+//     `pkg.func` convention of docs/ROBUSTNESS.md ("pta.solve",
+//     "core.build", …), with the package segment agreeing with the package
+//     the seam guards.
+var RecoverSeam = &Analyzer{
+	Name: "recoverseam",
+	Doc: "every pipeline entry point defers failure.Recover with a canonical stage name; " +
+		"recovered panics are never assigned to errors without failure.AsInternal",
+	Run: runRecoverSeam,
+}
+
+// stagePackages are the packages whose exported context-taking entry points
+// must carry a stage guard, and whose deferred recovers are audited.
+var stagePackages = map[string]string{
+	"pta":     "mahjong/internal/pta",
+	"fpg":     "mahjong/internal/fpg",
+	"core":    "mahjong/internal/core",
+	"clients": "mahjong/internal/clients",
+	"server":  "mahjong/internal/server",
+}
+
+// stageNameRE is the docs/ROBUSTNESS.md naming convention: a stage-package
+// segment, a dot, and a lowercase seam name ("pta.solve", "server.cache.load").
+var stageNameRE = regexp.MustCompile(`^(pta|fpg|core|automata|clients|server)\.[a-z][a-z.]*[a-z]$`)
+
+func runRecoverSeam(pass *Pass) {
+	// The failure and faultinject packages are the recovery mechanism, not
+	// seams: they forward a caller-supplied stage parameter, which is not a
+	// constant and is validated at the caller instead.
+	if pass.Name == "failure" || pass.Name == "faultinject" {
+		return
+	}
+	inStagePkg := false
+	if path, ok := stagePackages[pass.Name]; ok {
+		inStagePkg = pass.Forced || pass.Path == path
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if inStagePkg && pass.Name != "server" {
+				checkEntryPoint(pass, fn)
+			}
+			if inStagePkg {
+				checkDeferredRecovers(pass, fn)
+			}
+		}
+		// Stage-name convention holds module-wide: the facade and the
+		// automata package install guards for stages they do not own.
+		ast.Inspect(f, func(n ast.Node) bool {
+			checkStageNames(pass, n)
+			return true
+		})
+	}
+}
+
+// checkEntryPoint enforces check 1 on one declaration.
+func checkEntryPoint(pass *Pass, fn *ast.FuncDecl) {
+	if fn.Recv != nil || !fn.Name.IsExported() {
+		return
+	}
+	sig, ok := pass.Info.Defs[fn.Name].Type().(*types.Signature)
+	if !ok || !hasContextParam(sig) {
+		return
+	}
+	errResult := namedErrorResult(sig)
+	if !resultsIncludeError(sig) {
+		return
+	}
+	if errResult == nil {
+		pass.Reportf(fn.Name.Pos(), "entry point %s.%s must name its error result so a deferred failure.Recover can assign the recovered panic to it", pass.Name, fn.Name.Name)
+		return
+	}
+	for _, stmt := range fn.Body.List {
+		def, ok := stmt.(*ast.DeferStmt)
+		if !ok {
+			continue
+		}
+		callee := calleeOf(pass.Info, def.Call)
+		if callee == nil || !strings.HasPrefix(callee.Name(), "Recover") || !fromPackage(callee, "failure", "mahjong/internal/failure") {
+			continue
+		}
+		if len(def.Call.Args) >= 2 {
+			checkRecoverTarget(pass, def.Call.Args[1], errResult)
+		}
+		// The stage argument itself is validated by the module-wide
+		// stage-name walk, which sees this same call expression.
+		return // guarded
+	}
+	pass.Reportf(fn.Name.Pos(), "exported entry point %s.%s takes a context and returns an error but never defers failure.Recover*: an escaping panic would unwind the caller instead of failing one job (docs/ROBUSTNESS.md)", pass.Name, fn.Name.Name)
+}
+
+// checkRecoverTarget verifies the &err argument addresses the entry point's
+// named error result.
+func checkRecoverTarget(pass *Pass, arg ast.Expr, errResult types.Object) {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok {
+		return
+	}
+	id, ok := ast.Unparen(un.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if pass.Info.Uses[id] != errResult {
+		pass.Reportf(arg.Pos(), "failure.Recover must capture the entry point's named error result (&%s), not %s: otherwise the recovered panic never reaches the caller", errResult.Name(), id.Name)
+	}
+}
+
+// checkDeferredRecovers enforces check 2: deferred recover() values assigned
+// to error variables must pass through failure.AsInternal.
+func checkDeferredRecovers(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn, func(n ast.Node) bool {
+		def, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(def.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		// Identifiers bound from recover() inside this deferred closure.
+		recovered := make(map[types.Object]bool)
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			asg, ok := m.(*ast.AssignStmt)
+			if !ok || len(asg.Rhs) != 1 {
+				return true
+			}
+			if call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr); ok {
+				id, isIdent := ast.Unparen(call.Fun).(*ast.Ident)
+				_, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
+				if isIdent && id.Name == "recover" && isBuiltin {
+					for _, lhs := range asg.Lhs {
+						if lid, ok := lhs.(*ast.Ident); ok {
+							if obj := pass.Info.Defs[lid]; obj != nil {
+								recovered[obj] = true
+							} else if obj := pass.Info.Uses[lid]; obj != nil {
+								recovered[obj] = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+		if len(recovered) == 0 {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			asg, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range asg.Lhs {
+				if i >= len(asg.Rhs) {
+					break
+				}
+				lt := pass.Info.TypeOf(lhs)
+				if lt == nil || lt.String() != "error" {
+					continue
+				}
+				rhs := asg.Rhs[i]
+				usesRec := false
+				for obj := range recovered {
+					if usesObject(pass.Info, rhs, obj) {
+						usesRec = true
+					}
+				}
+				if !usesRec {
+					continue
+				}
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+					if fn := calleeOf(pass.Info, call); fn != nil && fromPackage(fn, "failure", "mahjong/internal/failure") {
+						// The stage argument is validated by the module-wide
+						// stage-name walk, which sees this same call.
+						continue
+					}
+				}
+				pass.Reportf(rhs.Pos(), "recovered panic assigned to an error without failure.AsInternal: the stage name and stack are lost, so /metrics cannot attribute the failure and degradation cannot classify it")
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// checkStageNames enforces check 3 at a single node, module-wide.
+func checkStageNames(pass *Pass, n ast.Node) {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		fn := calleeOf(pass.Info, n)
+		if fn == nil || !fromPackage(fn, "failure", "mahjong/internal/failure") {
+			return
+		}
+		if (strings.HasPrefix(fn.Name(), "Recover") || fn.Name() == "AsInternal") && len(n.Args) >= 1 {
+			pkgSeg := ""
+			if _, ok := stagePackages[pass.Name]; ok {
+				pkgSeg = pass.Name
+			}
+			checkStageArg(pass, n.Args[0], pkgSeg)
+		}
+	case *ast.CompositeLit:
+		t := pass.Info.TypeOf(n)
+		if t == nil {
+			return
+		}
+		if named, ok := t.(*types.Named); !ok || named.Obj().Name() != "InternalError" || !fromPackage(named.Obj(), "failure", "mahjong/internal/failure") {
+			return
+		}
+		for _, elt := range n.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Stage" {
+				checkStageArg(pass, kv.Value, "")
+			}
+		}
+	}
+}
+
+// checkStageArg validates one stage-name expression. pkgSeg, when non-empty,
+// is the package segment the stage must belong to (a seam in internal/pta
+// must not report a core.* stage).
+func checkStageArg(pass *Pass, arg ast.Expr, pkgSeg string) {
+	val, ok := stringVal(pass.Info, arg)
+	if !ok {
+		pass.Reportf(arg.Pos(), "stage name must be a string constant (use the faultinject.Stage* constants): a computed stage defeats the registry cross-check")
+		return
+	}
+	if !stageNameRE.MatchString(val) {
+		pass.Reportf(arg.Pos(), "stage name %q does not follow the pkg.func convention of docs/ROBUSTNESS.md (e.g. %q)", val, "pta.solve")
+		return
+	}
+	if pkgSeg != "" && !strings.HasPrefix(val, pkgSeg+".") {
+		pass.Reportf(arg.Pos(), "stage name %q names another package's seam; a guard in package %s must report a %s.* stage so failures stay attributable", val, pkgSeg, pkgSeg)
+	}
+}
+
+func hasContextParam(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i).Type().String() == "context.Context" {
+			return true
+		}
+	}
+	return false
+}
+
+func resultsIncludeError(sig *types.Signature) bool {
+	for i := 0; i < sig.Results().Len(); i++ {
+		if sig.Results().At(i).Type().String() == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+// namedErrorResult returns the named error result variable, if any.
+func namedErrorResult(sig *types.Signature) types.Object {
+	for i := 0; i < sig.Results().Len(); i++ {
+		r := sig.Results().At(i)
+		if r.Type().String() == "error" && r.Name() != "" && r.Name() != "_" {
+			return r
+		}
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// StageHook cross-checks the module's three stage registries so they cannot
+// drift as stages are added:
+//
+//  1. declarations — the faultinject package's Stage* string constants are
+//     the canonical vocabulary ("pta.solve", "core.build", …);
+//
+//  2. seams — every declared stage must be wired to at least one
+//     faultinject.Fire or faultinject.Mutate call, so the fault matrix can
+//     actually inject a failure there (an unseamed stage is untestable);
+//
+//  3. metrics — the server's knownStages registry pre-declares every stage
+//     as a mahjongd_stage_failures_total label, so /metrics exposes a
+//     stable, zero-valued series per stage instead of materializing labels
+//     only after the first failure.
+//
+// Cross-checks in both directions: a stage used with failure.Recover /
+// failure.AsInternal (or fired at a seam) must be declared; a declared stage
+// must be seamed and listed in knownStages; a knownStages entry must match a
+// declared constant.
+//
+// The analyzer needs the whole module in view: it runs only when both the
+// faultinject and server packages are part of the load (mahjongvet's
+// default ./... always includes them).
+var StageHook = &Analyzer{
+	Name: "stagehook",
+	Doc: "faultinject Stage* constants, Fire/Mutate seams, failure.Recover uses and the " +
+		"server's knownStages metrics registry must agree",
+	RunModule: runStageHook,
+}
+
+// stageUse records where a stage string was seen.
+type stageUse struct {
+	pos  token.Pos
+	what string
+}
+
+func runStageHook(m *ModulePass) {
+	var fiPkg, serverPkg *Package
+	for _, pkg := range m.Pkgs {
+		switch pkg.Name {
+		case "faultinject":
+			fiPkg = pkg
+		case "server":
+			serverPkg = pkg
+		}
+	}
+	if fiPkg == nil || serverPkg == nil {
+		return // partial load: the registries are not in view
+	}
+
+	// Registry 1: Stage* constants in faultinject.
+	declared := make(map[string]token.Pos)
+	for _, f := range fiPkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "Stage") || i >= len(vs.Values) {
+						continue
+					}
+					if val, ok := stringVal(fiPkg.Info, vs.Values[i]); ok {
+						declared[val] = name.Pos()
+					}
+				}
+			}
+		}
+	}
+
+	// Registry 2: Fire/Mutate seams; registry 3 inputs: failure.* uses.
+	seamed := make(map[string]bool)
+	var failureUses, seamUses []struct {
+		stage string
+		use   stageUse
+	}
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					fn := calleeOf(pkg.Info, n)
+					if fn == nil || len(n.Args) == 0 {
+						return true
+					}
+					switch {
+					case fromPackage(fn, "faultinject", "mahjong/internal/faultinject") &&
+						(fn.Name() == "Fire" || fn.Name() == "Mutate"):
+						if val, ok := stringVal(pkg.Info, n.Args[0]); ok {
+							seamed[val] = true
+							seamUses = append(seamUses, struct {
+								stage string
+								use   stageUse
+							}{val, stageUse{n.Args[0].Pos(), "faultinject." + fn.Name()}})
+						}
+					case fromPackage(fn, "failure", "mahjong/internal/failure") &&
+						(strings.HasPrefix(fn.Name(), "Recover") || fn.Name() == "AsInternal"):
+						if val, ok := stringVal(pkg.Info, n.Args[0]); ok {
+							failureUses = append(failureUses, struct {
+								stage string
+								use   stageUse
+							}{val, stageUse{n.Args[0].Pos(), "failure." + fn.Name()}})
+						}
+					}
+				case *ast.KeyValueExpr:
+					// failure.InternalError{Stage: …} literals count as uses.
+					if key, ok := n.Key.(*ast.Ident); ok && key.Name == "Stage" {
+						if obj := pkg.Info.Uses[key]; obj != nil && fromPackage(obj, "failure", "mahjong/internal/failure") {
+							if val, ok := stringVal(pkg.Info, n.Value); ok {
+								failureUses = append(failureUses, struct {
+									stage string
+									use   stageUse
+								}{val, stageUse{n.Value.Pos(), "failure.InternalError literal"}})
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Registry 3: the server's knownStages metrics pre-declaration.
+	known := make(map[string]bool)
+	var knownEntries []struct {
+		stage string
+		pos   token.Pos
+	}
+	foundKnown := false
+	for _, f := range serverPkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for i, name := range vs.Names {
+				if name.Name != "knownStages" || i >= len(vs.Values) {
+					continue
+				}
+				foundKnown = true
+				if lit, ok := vs.Values[i].(*ast.CompositeLit); ok {
+					for _, elt := range lit.Elts {
+						if val, ok := stringVal(serverPkg.Info, elt); ok {
+							known[val] = true
+							knownEntries = append(knownEntries, struct {
+								stage string
+								pos   token.Pos
+							}{val, elt.Pos()})
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if !foundKnown {
+		pos := token.NoPos
+		if len(serverPkg.Files) > 0 {
+			pos = serverPkg.Files[0].Name.Pos()
+		}
+		m.Reportf(pos, "package server declares no knownStages registry: /metrics cannot pre-declare per-stage failure counters, so stage labels appear only after the first failure")
+		return
+	}
+
+	// Cross-check 1: stages used with failure must be declared.
+	for _, u := range failureUses {
+		if _, ok := declared[u.stage]; !ok {
+			m.Reportf(u.use.pos, "stage %q is used with %s but not declared as a faultinject Stage* constant: the fault matrix and /metrics registries cannot see it", u.stage, u.use.what)
+		}
+	}
+	// Cross-check 2a: fired stages must be declared.
+	for _, u := range seamUses {
+		if _, ok := declared[u.stage]; !ok {
+			m.Reportf(u.use.pos, "stage %q is fired at a %s seam but not declared as a faultinject Stage* constant", u.stage, u.use.what)
+		}
+	}
+	// Cross-check 2b: declared stages must be seamed and known to metrics.
+	for stage, pos := range declared {
+		if !seamed[stage] {
+			m.Reportf(pos, "stage constant %q has no faultinject.Fire/Mutate seam: the fault matrix cannot inject a failure there, so its recovery path is untestable", stage)
+		}
+		if !known[stage] {
+			m.Reportf(pos, "stage constant %q is missing from the server's knownStages registry: its mahjongd_stage_failures_total series would appear only after the first failure", stage)
+		}
+	}
+	// Cross-check 3: knownStages entries must be declared constants.
+	for _, e := range knownEntries {
+		if _, ok := declared[e.stage]; !ok {
+			m.Reportf(e.pos, "knownStages entry %q does not match any faultinject Stage* constant: the metrics registry has drifted from the stage vocabulary", e.stage)
+		}
+	}
+}

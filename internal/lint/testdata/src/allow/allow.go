@@ -1,0 +1,23 @@
+// Package allow is a linttest fixture for the //lint:allow mechanism itself,
+// asserted on directly in lint_test.go rather than through want comments (an
+// allow comment cannot also carry a want comment — a line holds one comment).
+//
+// Expected diagnostics, exactly two:
+//
+//   - a "lint" diagnostic at the unjustified allow below: the justification
+//     is the audit trail, so an allow without one suppresses nothing and is
+//     itself reported;
+//
+//   - the ctxflow diagnostic on that same line, which the unjustified allow
+//     failed to suppress.
+package allow
+
+import "context"
+
+var bad = context.Background() //lint:allow ctxflow
+
+// A justified allow suppresses the finding on its own line…
+var shimmed = context.Background() //lint:allow ctxflow fixture: justified allow on the same line
+
+//lint:allow ctxflow fixture: justified allow on the line above suppresses too
+var shimmedAbove = context.TODO()

@@ -1,0 +1,36 @@
+// Package ctxflow is a linttest fixture for the ctxflow analyzer: fresh root
+// contexts and context identity comparison in library code.
+package ctxflow
+
+import "context"
+
+func detached() {
+	ctx := context.Background() // want "context.Background\\(\\) in internal library code detaches callees"
+	_ = ctx
+	_ = context.TODO() // want "context.TODO\\(\\) in internal library code detaches callees"
+}
+
+func compared(a, b context.Context) bool {
+	if a == b { // want "contexts compared with =="
+		return true
+	}
+	return a != b // want "contexts compared with !="
+}
+
+// shim is the sanctioned escape hatch: a justified allow suppresses the
+// finding and documents why the invariant may be broken here.
+func shim() context.Context {
+	return context.Background() //lint:allow ctxflow fixture compat shim: callers without a context deliberately get a background root
+}
+
+// threaded passes the caller's context through — the pattern the analyzer
+// exists to enforce. No finding.
+func threaded(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}
+
+// doneNil is the sanctioned cancellability test: asking whether the context
+// can ever fire, instead of comparing identities. No finding.
+func doneNil(ctx context.Context) bool {
+	return ctx.Done() == nil
+}

@@ -1,0 +1,70 @@
+// Package mapdeterminism is a linttest fixture for the mapdeterminism
+// analyzer: map iteration feeding persisted or exported output.
+package mapdeterminism
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// unsorted accumulates keys in map-iteration order and never canonicalizes
+// them: bytes built from the slice differ run to run.
+func unsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "accumulates in map-iteration order and is never sorted"
+	}
+	return keys
+}
+
+// collectThenSort is the sanctioned idiom. No finding.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// directEmit pushes bytes straight to a writer from inside the loop; no
+// later sort can repair the order.
+func directEmit(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s %d\n", k, v) // want "fmt.Fprintf inside map iteration emits bytes in map order"
+	}
+}
+
+// methodEmit does the same through an encoder-style method.
+func methodEmit(b *strings.Builder, m map[string]bool) {
+	for k := range m {
+		b.WriteString(k) // want "WriteString inside map iteration emits bytes in map order"
+	}
+}
+
+// mapToMap re-keys into another map: order never reaches output. No finding.
+func mapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// aggregate folds order-independent values. No finding.
+func aggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sliceRange is not a map range at all. No finding.
+func sliceRange(xs []string, w io.Writer) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}

@@ -1,0 +1,86 @@
+// Package pta is a linttest fixture for the recoverseam analyzer. Its
+// package name matches a real stage package, so the entry-point and
+// deferred-recover checks apply; it imports the real failure and faultinject
+// packages so callee resolution works exactly as it does on module code.
+package pta
+
+import (
+	"context"
+	"fmt"
+
+	"mahjong/internal/failure"
+	"mahjong/internal/faultinject"
+)
+
+// Guarded is the sanctioned entry-point shape: context in, named error out,
+// a deferred failure.Recover capturing it under the package's own stage.
+// No finding.
+func Guarded(ctx context.Context, work int) (res int, err error) {
+	defer failure.Recover(faultinject.StageSolve, &err)
+	return work, nil
+}
+
+// Unguarded is a stage boundary with no seam: an escaping panic would unwind
+// the caller instead of failing one job.
+func Unguarded(ctx context.Context, work int) (res int, err error) { // want "never defers failure.Recover"
+	return work, nil
+}
+
+// Unnamed cannot hand a recovered panic to its caller: there is no named
+// error result for failure.Recover to assign.
+func Unnamed(ctx context.Context) error { // want "must name its error result"
+	return nil
+}
+
+// WrongTarget defers the seam but captures a local instead of the named
+// result, so the recovered panic never reaches the caller.
+func WrongTarget(ctx context.Context) (err error) {
+	var scratch error
+	defer failure.Recover(faultinject.StageSolve, &scratch) // want "must capture the entry point's named error result"
+	return scratch
+}
+
+// WrongStage guards a pta entry point under another package's stage name,
+// making failures unattributable.
+func WrongStage(ctx context.Context) (err error) {
+	defer failure.Recover("core.build", &err) // want "names another package's seam"
+	return nil
+}
+
+// BadConvention uses a stage name outside the pkg.func convention.
+func BadConvention(ctx context.Context) (err error) {
+	defer failure.Recover("PTA-SOLVE", &err) // want "does not follow the pkg.func convention"
+	return nil
+}
+
+// Computed defeats the registry cross-check with a non-constant stage.
+func Computed(ctx context.Context, n int) (err error) {
+	defer failure.Recover(fmt.Sprintf("pta.shard%d", n), &err) // want "stage name must be a string constant"
+	return nil
+}
+
+// rawRecover assigns the recovered value straight to an error, losing the
+// stage name and stack.
+func rawRecover(ctx context.Context) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = rec.(error) // want "without failure.AsInternal"
+		}
+	}()
+	return nil
+}
+
+// wrappedRecover is the sanctioned deferred-recover shape. No finding.
+func wrappedRecover(ctx context.Context) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = failure.AsInternal(faultinject.StageSolve, rec)
+		}
+	}()
+	return nil
+}
+
+// literalStage exercises the InternalError{Stage: …} literal check.
+func literalStage() error {
+	return &failure.InternalError{Stage: "Bad Stage"} // want "does not follow the pkg.func convention"
+}

@@ -1,0 +1,28 @@
+// Package faultinject is a linttest fixture standing in for the real
+// faultinject package (the stagehook analyzer matches it by package name):
+// it declares the Stage* vocabulary and the Fire/Mutate seams.
+package faultinject
+
+const (
+	// StageGood is seamed below and listed in the fixture server's
+	// knownStages. No finding.
+	StageGood = "pta.solve"
+	// StageUnseamed is declared and known to metrics but wired to no
+	// Fire/Mutate seam, so the fault matrix cannot inject a failure there.
+	StageUnseamed = "core.build" // want "has no faultinject.Fire/Mutate seam"
+	// StageUnknown is seamed but missing from the server's knownStages, so
+	// its metrics series would appear only after the first failure.
+	StageUnknown = "fpg.build" // want "missing from the server's knownStages registry"
+)
+
+// Fire mirrors the real seam entry point.
+func Fire(stage string) error {
+	_ = stage
+	return nil
+}
+
+// Mutate mirrors the real mutation seam.
+func Mutate(stage string, v any) any {
+	_ = stage
+	return v
+}

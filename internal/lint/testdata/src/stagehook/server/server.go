@@ -1,0 +1,13 @@
+// Package server is a linttest fixture standing in for the real server
+// package (the stagehook analyzer matches it by package name): it carries the
+// knownStages metrics registry.
+package server
+
+// knownStages pre-declares the per-stage failure series. "fpg.build" is
+// deliberately absent (reported at its Stage* constant) and "zz.stray"
+// matches no declared constant.
+var knownStages = []string{
+	"pta.solve",
+	"core.build",
+	"zz.stray", // want "does not match any faultinject Stage. constant"
+}

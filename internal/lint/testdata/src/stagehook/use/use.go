@@ -1,0 +1,21 @@
+// Package use is a linttest fixture exercising stagehook's use-site
+// cross-checks: stages fired at seams or attached to failures must be part
+// of the declared vocabulary. It imports the real failure package and the
+// fixture faultinject package.
+package use
+
+import (
+	"mahjong/internal/failure"
+
+	fi "mahjong/internal/lint/testdata/src/stagehook/faultinject"
+)
+
+func seams() {
+	_ = fi.Fire(fi.StageGood)
+	_ = fi.Fire(fi.StageUnknown)
+	_ = fi.Fire("qq.undeclared") // want "fired at a faultinject.Fire seam but not declared"
+}
+
+func uses() {
+	_ = failure.AsInternal("zz.unknown", "boom") // want "is used with failure.AsInternal but not declared"
+}

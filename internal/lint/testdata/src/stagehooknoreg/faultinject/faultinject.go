@@ -1,0 +1,13 @@
+// Package faultinject is the minimal stage-vocabulary fixture for the
+// stagehooknoreg tree: the companion server package lacks a knownStages
+// registry entirely.
+package faultinject
+
+const StageGood = "pta.solve"
+
+// Fire mirrors the real seam entry point; the constant above is seamed in
+// seam.go so the missing-registry report is the tree's only finding.
+func Fire(stage string) error {
+	_ = stage
+	return nil
+}

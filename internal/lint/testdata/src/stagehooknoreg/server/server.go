@@ -1,0 +1,3 @@
+// Package server deliberately declares no knownStages registry: /metrics
+// could not pre-declare per-stage failure counters.
+package server // want "declares no knownStages registry"

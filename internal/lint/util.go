@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// calleeOf resolves a call expression to the declared function or method it
+// invokes, or nil for calls through function values, built-ins, and type
+// conversions.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// fromPackage reports whether obj is declared in a package named name whose
+// import path is canonical or ends in "/<name>" — the latter so linttest
+// fixtures (testdata/src/.../<name>) stand in for the real registry
+// packages. Objects from unrelated same-named third-party packages cannot
+// occur: the module has no dependencies, and mahjongvet is project-specific.
+func fromPackage(obj types.Object, name, canonical string) bool {
+	pkg := obj.Pkg()
+	if pkg == nil || pkg.Name() != name {
+		return false
+	}
+	return pkg.Path() == canonical || strings.HasSuffix(pkg.Path(), "/"+name)
+}
+
+// stringVal returns the constant string value of e, if it has one.
+func stringVal(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// isContextType reports whether e's static type is context.Context.
+func isContextType(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	return t != nil && t.String() == "context.Context"
+}
+
+// isPtrToNamed reports whether t is *pkgName.typeName for a package whose
+// name is pkgName (path checked as in fromPackage).
+func isPtrToNamed(t types.Type, pkgName, typeName string) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Name() == pkgName
+}
+
+// usesObject reports whether any identifier under n resolves to obj.
+func usesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// funcScope pairs a function-like node with its result list, so checks can
+// relate statements to the enclosing function's named returns.
+func resultList(n ast.Node) *ast.FieldList {
+	switch fn := n.(type) {
+	case *ast.FuncDecl:
+		return fn.Type.Results
+	case *ast.FuncLit:
+		return fn.Type.Results
+	}
+	return nil
+}

@@ -58,11 +58,17 @@ func TestSolveContextExpiredDeadline(t *testing.T) {
 
 // flipCtx reports no error for its first two Err calls (the pre-run
 // check plus one in-loop check), then reports cancellation — a
-// deterministic stand-in for a context cancelled mid-solve.
+// deterministic stand-in for a context cancelled mid-solve. Per the
+// context.Context contract it advertises cancellability with a non-nil
+// Done channel (the solver uses Done() != nil to decide whether the
+// context can ever fire and is worth polling).
 type flipCtx struct {
 	context.Context
 	calls int
+	done  chan struct{}
 }
+
+func (c *flipCtx) Done() <-chan struct{} { return c.done }
 
 func (c *flipCtx) Err() error {
 	c.calls++
@@ -74,13 +80,54 @@ func (c *flipCtx) Err() error {
 
 func TestSolveContextMidRunCancellation(t *testing.T) {
 	prog := bigProgram(t)
-	fc := &flipCtx{Context: context.Background()}
+	fc := &flipCtx{Context: context.Background(), done: make(chan struct{})}
 	_, err := SolveContext(fc, prog, Options{})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("want wrapped context.Canceled mid-run, got %v", err)
 	}
 	if fc.calls <= 2 {
 		t.Fatalf("solver never reached the worklist-loop cancellation check (%d Err calls)", fc.calls)
+	}
+}
+
+// uncomparableCtx has an uncomparable dynamic type (a struct carrying a
+// slice, passed by value). The pre-fix solver compared
+// ctx != context.Background(), and interface comparison PANICS when the
+// dynamic type is uncomparable — an arbitrary caller-supplied context
+// could crash the solve before it started.
+type uncomparableCtx struct {
+	context.Context
+	_ []int
+}
+
+func TestSolveContextUncomparableImplementation(t *testing.T) {
+	prog := bigProgram(t)
+	res, err := SolveContext(uncomparableCtx{Context: context.Background()}, prog, Options{})
+	if err != nil {
+		t.Fatalf("solve under an uncomparable context: %v (the old identity comparison panicked here)", err)
+	}
+	if res.Work == 0 {
+		t.Fatal("solve did no work")
+	}
+}
+
+// A value-carrying child of context.Background is semantically background:
+// it can never be cancelled and carries no deadline. The old identity
+// comparison misclassified it as cancellable; the Done()==nil check must
+// treat it exactly like Background.
+func TestSolveContextValueOnlyChildIsBackground(t *testing.T) {
+	prog := bigProgram(t)
+	type key struct{}
+	want, err := SolveContext(context.Background(), prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SolveContext(context.WithValue(context.Background(), key{}, "v"), prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Work != want.Work || got.Aborted != want.Aborted {
+		t.Fatalf("value-only child diverged from Background: work %d vs %d", got.Work, want.Work)
 	}
 }
 

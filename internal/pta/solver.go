@@ -240,7 +240,7 @@ type Result struct {
 // A budget overrun returns a partial Result with Aborted=true and a nil
 // error; hard misconfigurations return an error.
 func Solve(prog *lang.Program, opts Options) (*Result, error) {
-	return SolveContext(context.Background(), prog, opts)
+	return SolveContext(context.Background(), prog, opts) //lint:allow ctxflow Solve is the documented context-free compat shim over SolveContext
 }
 
 // SolveContext is Solve with cancellation: the worklist loop checks ctx
@@ -259,7 +259,7 @@ func SolveContext(ctx context.Context, prog *lang.Program, opts Options) (res *R
 		return nil, errors.New("pta: program has no entry method")
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //lint:allow ctxflow nil-context normalization at the API boundary, not a detached root
 	}
 	// The injection seam precedes the deadline check so a hook-injected
 	// slow stage is observed by the job's context like any real stall.
@@ -297,7 +297,13 @@ func SolveContext(ctx context.Context, prog *lang.Program, opts Options) (res *R
 		sccTrigger:  sccMinTrigger,
 	}
 	s.emptyHeap = s.ctxt.Empty()
-	if ctx != context.Background() {
+	// Poll the context only when it can actually fire. A nil Done channel
+	// means the context can never be cancelled and carries no deadline —
+	// context.Background(), or any value-only child of it. The previous
+	// identity comparison (ctx != context.Background()) misclassified
+	// semantically-background contexts like context.WithValue(Background,…)
+	// and panics outright on uncomparable Context implementations.
+	if ctx.Done() != nil {
 		s.ctx = ctx
 	}
 	s.meter = opts.Meter
@@ -499,7 +505,7 @@ func (s *solver) mask(filter *lang.Class) *bitset.Set {
 // filtered call.
 func (s *solver) filtered(delta *bitset.Set, filter *lang.Class) *bitset.Set {
 	if filter == nil {
-		return delta
+		return delta //lint:allow bitsetalias documented borrow passthrough: the result aliases an input the caller already borrows and must be consumed before the next filtered call
 	}
 	if s.opts.NoOpt {
 		out := bitset.New(0)

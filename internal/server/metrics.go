@@ -3,11 +3,34 @@ package server
 import (
 	"fmt"
 	"io"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mahjong/internal/faultinject"
 )
+
+// knownStages pre-declares every pipeline stage as a
+// mahjongd_stage_failures_total label, so /metrics exposes a stable,
+// zero-valued series per stage from the first scrape instead of
+// materializing labels only after a stage's first failure (which breaks
+// dashboards and rate() queries that assume the series exists).
+//
+// mahjongvet's stagehook analyzer cross-checks this registry against the
+// faultinject Stage* constants and the Fire/Mutate seams: adding a stage
+// without listing it here fails `make lint`.
+var knownStages = []string{
+	faultinject.StageSolve,
+	faultinject.StageCollapse,
+	faultinject.StageFPG,
+	faultinject.StageModel,
+	faultinject.StageEquiv,
+	faultinject.StageClients,
+	faultinject.StageCacheLoad,
+	faultinject.StageJob,
+}
 
 // metrics holds the daemon's counters. All fields are atomics so that
 // workers, handlers, and the cache update them without a shared lock
@@ -153,9 +176,14 @@ func writeProm(w io.Writer, s MetricsSnapshot) {
 	counter("mahjongd_panics_recovered_total", "Panics recovered at pipeline-stage boundaries.", s.PanicsRecovered)
 	counter("mahjongd_budget_exhausted_total", "Jobs that hit a resource budget limit.", s.BudgetExhausted)
 	fmt.Fprintf(w, "# HELP mahjongd_stage_failures_total Job failures by pipeline stage.\n# TYPE mahjongd_stage_failures_total counter\n")
-	stages := make([]string, 0, len(s.StageFailures))
+	// Every known stage gets a series (zero-valued until it fails), plus
+	// any stage observed at runtime that the registry does not know —
+	// belt and braces; stagehook keeps the two in sync statically.
+	stages := append([]string(nil), knownStages...)
 	for stage := range s.StageFailures {
-		stages = append(stages, stage)
+		if !slices.Contains(stages, stage) {
+			stages = append(stages, stage)
+		}
 	}
 	sort.Strings(stages)
 	for _, stage := range stages {

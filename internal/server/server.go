@@ -71,6 +71,16 @@ type Server struct {
 	stop    func()
 	done    chan struct{}
 
+	// baseCtx is the root every job context derives from; cancelBase is
+	// the final step of the shutdown drain. Deriving jobs from a
+	// server-lifetime context (instead of a detached context.Background
+	// per job) guarantees Close cancels ALL in-flight work — including a
+	// job that races into a worker between the queue drain and the
+	// per-job cancelRunning sweep, which previously kept an uncancellable
+	// context and could stall Close indefinitely.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
 	// closing flips once Close begins: submissions are rejected with a
 	// retriable 503 while in-flight jobs drain.
 	closing atomic.Bool
@@ -101,6 +111,7 @@ func New(cfg Config) *Server {
 		quit:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background()) //lint:allow ctxflow server-lifetime root created once at construction; every job context derives from it so Close cancels in-flight work
 	s.routes()
 	workerDone := make(chan struct{})
 	running := cfg.Workers
@@ -130,8 +141,10 @@ func (s *Server) Close() {
 	s.stop()
 	<-s.done
 	// Workers are gone; fail anything a concurrent submit raced into
-	// the queue after the first drain.
+	// the queue after the first drain, and release the base context
+	// (with a negative ShutdownGrace — wait forever — it is still live).
 	s.failQueued()
+	s.cancelBase()
 }
 
 // shutdown implements the drain sequence (runs once, via s.stop).
@@ -153,7 +166,10 @@ func (s *Server) shutdown() {
 		// Grace expired (or everything drained): cancel whatever is
 		// still running so the workers can exit promptly. The solver and
 		// merge workers poll their context, so cancellation propagates.
+		// cancelBase closes the base context under every job — including
+		// one that raced into a worker after the cancelRunning sweep.
 		s.cancelRunning()
+		s.cancelBase()
 	}
 	close(s.quit)
 }
@@ -329,7 +345,12 @@ func (s *Server) runJob(j *job) {
 	if j.spec.TimeoutMS > 0 {
 		timeout = time.Duration(j.spec.TimeoutMS) * time.Millisecond
 	}
-	ctx := context.Background()
+	// The job context derives from the server's base context: per-job
+	// deadlines and explicit cancels work as before, and shutdown's
+	// cancelBase reaches every in-flight job even if it raced past the
+	// drain (a detached context.Background here escaped graceful
+	// shutdown).
+	ctx := s.baseCtx
 	var cancel context.CancelFunc
 	if timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, timeout)

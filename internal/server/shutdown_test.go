@@ -142,6 +142,61 @@ func TestShutdownUnderLoad(t *testing.T) {
 	}
 }
 
+// Regression: job contexts must derive from the server's base context,
+// not a detached context.Background. A job that slips into a worker
+// after shutdown's per-job cancelRunning sweep would otherwise hold an
+// uncancellable context and outlive Close. Cancelling the base alone —
+// never touching the job's own cancel func — must reach a running job.
+func TestJobContextDerivesFromServerBase(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4, ShutdownGrace: 10 * time.Second})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+
+	release := make(chan struct{})
+	t.Cleanup(faultinject.Clear)
+	faultinject.Set(faultinject.OnStage(faultinject.StageSolve, func(string) error {
+		select {
+		case <-release:
+		case <-time.After(10 * time.Second): // never wedge the suite
+		}
+		return nil
+	}))
+
+	id := submit(t, ts, JobSpec{IR: testIR, Analysis: "ci"})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v, _ := pollJob(t, ts, id); v.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Cancel only the base context, mimicking shutdown reaching a job
+	// that raced past the drain. Cancellation propagates to the derived
+	// job context before cancelBase returns, so once the parked stage is
+	// released the solver's pre-run check observes it deterministically.
+	srv.cancelBase()
+	close(release)
+
+	for {
+		v, _ := pollJob(t, ts, id)
+		if v.State == StateCancelled {
+			break
+		}
+		if v.State == StateDone || v.State == StateFailed {
+			t.Fatalf("job finished %s (error %q); base-context cancellation never reached it", v.State, v.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never observed the cancelled base context")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 // Close on an idle server lets nothing linger: it returns promptly and
 // is idempotent.
 func TestShutdownIdleIsPrompt(t *testing.T) {
