@@ -22,7 +22,6 @@ import (
 	"mahjong/internal/bench"
 	"mahjong/internal/core"
 	"mahjong/internal/fpg"
-	"mahjong/internal/pta"
 	"mahjong/internal/synth"
 )
 
@@ -47,7 +46,9 @@ func prepare(b *testing.B, name string) *bench.Program {
 }
 
 // BenchmarkPreAnalysis measures the full §6.1.1 pre-analysis pipeline
-// (ci Andersen + FPG + Mahjong heap modeling) per program.
+// (ci Andersen + FPG + Mahjong heap modeling) per program, through the
+// same bench.Pipeline helper the harness uses — the pipeline is defined
+// once, not re-inlined here.
 func BenchmarkPreAnalysis(b *testing.B) {
 	for _, name := range synth.ProfileNames() {
 		prof, err := synth.ProfileByName(name)
@@ -57,13 +58,11 @@ func BenchmarkPreAnalysis(b *testing.B) {
 		prog := synth.MustGenerate(prof)
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				pre, err := pta.Solve(prog, pta.Options{})
+				r, err := bench.Pipeline(prog)
 				if err != nil {
 					b.Fatal(err)
 				}
-				g := fpg.Build(pre, fpg.Options{})
-				res := core.Build(g, core.Options{})
-				if res.NumMerged == 0 {
+				if r.Mahjong.NumMerged == 0 {
 					b.Fatal("no objects")
 				}
 			}

@@ -50,7 +50,24 @@ func main() {
 	stats := flag.Bool("stats", false, "print solver performance counters after the analysis")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	traceOut := flag.String("trace", "", "write a JSON span trace of the pipeline to this file (docs/OBSERVABILITY.md)")
 	flag.Parse()
+
+	// The trace is written on every exit path — fail() and the
+	// exhaustion exit call flushTrace explicitly because os.Exit skips
+	// defers; the deferred call covers the normal return.
+	var tctx mahjong.TraceCtx
+	if *traceOut != "" {
+		tracer := mahjong.NewTracer()
+		tctx = tracer.Root()
+		out := *traceOut
+		traceSink = func() {
+			if err := writeTrace(out, tracer); err != nil {
+				fmt.Fprintln(os.Stderr, "mahjong: writing trace:", err)
+			}
+		}
+		defer flushTrace()
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -102,9 +119,10 @@ func main() {
 		Heap:       mahjong.HeapKind(*heap),
 		BudgetWork: *budget,
 		Resources:  resources,
+		Trace:      tctx,
 	}
 	if cfg.Heap == mahjong.HeapMahjong {
-		abs, err := obtainAbstraction(ctx, prog, *loadAbs, *workers, resources)
+		abs, err := obtainAbstraction(ctx, prog, *loadAbs, *workers, resources, tctx)
 		switch {
 		case err == nil:
 			cfg.Abstraction = abs
@@ -145,6 +163,7 @@ func main() {
 		if *stats {
 			printSolverStats(rep)
 		}
+		flushTrace()
 		os.Exit(exitExhausted)
 	}
 	fmt.Printf("%s/%s: %v, %d work units, %d cs-objects, %d cs-methods\n",
@@ -203,9 +222,9 @@ func degradable(err error) bool {
 
 // obtainAbstraction loads a persisted abstraction when a path is given,
 // otherwise builds one from scratch.
-func obtainAbstraction(ctx context.Context, prog *mahjong.Program, loadPath string, workers int, resources mahjong.ResourceBudget) (*mahjong.Abstraction, error) {
+func obtainAbstraction(ctx context.Context, prog *mahjong.Program, loadPath string, workers int, resources mahjong.ResourceBudget, tctx mahjong.TraceCtx) (*mahjong.Abstraction, error) {
 	if loadPath == "" {
-		return mahjong.BuildAbstractionContext(ctx, prog, mahjong.AbstractionOptions{Workers: workers, Resources: resources})
+		return mahjong.BuildAbstractionContext(ctx, prog, mahjong.AbstractionOptions{Workers: workers, Resources: resources, Trace: tctx})
 	}
 	f, err := os.Open(loadPath)
 	if err != nil {
@@ -237,11 +256,37 @@ func load(in, benchName string) (*mahjong.Program, error) {
 	}
 }
 
+// traceSink, when -trace is set, writes the run's span trace; flushTrace
+// runs it at most once so the success defer and the explicit calls on
+// os.Exit paths cannot double-write.
+var traceSink func()
+
+func flushTrace() {
+	if traceSink != nil {
+		traceSink()
+		traceSink = nil
+	}
+}
+
+// writeTrace exports the tracer's spans as deterministic JSON.
+func writeTrace(path string, tracer *mahjong.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tracer.Snapshot().WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
 // fail reports err and exits: code 3 when the error is exhaustion (a
 // work- or resource-budget overrun or an expired -timeout deadline),
 // 1 otherwise.
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "mahjong:", err)
+	flushTrace()
 	if errors.Is(err, mahjong.ErrBudget) ||
 		errors.Is(err, mahjong.ErrBudgetExhausted) ||
 		errors.Is(err, context.DeadlineExceeded) ||

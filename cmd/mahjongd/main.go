@@ -37,6 +37,8 @@ func main() {
 	budgetWords := flag.Int64("budget-words", 0, "default per-job cap on live points-to bitset words (0 = unlimited)")
 	budgetPairs := flag.Int64("budget-pairs", 0, "default per-job cap on automata merge pairs (0 = unlimited)")
 	noDegrade := flag.Bool("no-degrade", false, "disable the allocation-site fallback when abstraction building fails")
+	slowJob := flag.Duration("slow-job", 0, "log the span tree of any job taking at least this long (0 = off)")
+	debugAddr := flag.String("debug-addr", "", "listen address for net/http/pprof profiling endpoints (empty = disabled; never exposed on -addr)")
 	flag.Parse()
 
 	srv := server.New(server.Config{
@@ -52,11 +54,30 @@ func main() {
 			MergePairs:  *budgetPairs,
 		},
 		NoDegrade: *noDegrade,
+		SlowJob:   *slowJob,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// The pprof surface binds its own listener (typically localhost),
+	// never the serving mux: profiles leak heap contents and symbols,
+	// so they stay off the job-submission address entirely.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           server.DebugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("mahjongd: debug listener: %v", err)
+			}
+		}()
+		log.Printf("mahjongd debug (pprof) listening on %s", *debugAddr)
 	}
 
 	errc := make(chan error, 1)
@@ -73,8 +94,14 @@ func main() {
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Printf("mahjongd: shutdown: %v", err)
 		}
+		if debugSrv != nil {
+			debugSrv.Shutdown(ctx) //nolint:errcheck // best effort on the way out
+		}
 		srv.Close()
 	case err := <-errc:
+		if debugSrv != nil {
+			debugSrv.Close()
+		}
 		srv.Close()
 		fmt.Fprintln(os.Stderr, "mahjongd:", err)
 		os.Exit(1)

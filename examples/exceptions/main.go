@@ -11,6 +11,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
@@ -18,51 +19,12 @@ import (
 	"mahjong/internal/clients"
 )
 
-const src = `
-class Err {}
-class ParseErr extends Err {}
-class IOErr extends Err {}
-
-interface Stage {
-  method run(): void
-}
-class Reader implements Stage {
-  method run(): void {
-    var e: IOErr
-    e = new IOErr
-    throw e
-    return
-  }
-}
-class Parser implements Stage {
-  method run(): void {
-    var e: ParseErr
-    e = new ParseErr
-    throw e
-    return
-  }
-}
-class Pipeline {
-  static method exec(s: Stage): void {
-    s.run()
-    return
-  }
-}
-class Main {
-  static method main(): void {
-    var r: Stage
-    var p: Stage
-    var caught: ParseErr
-    r = new Reader
-    p = new Parser
-    Pipeline.exec(r)
-    Pipeline.exec(p)
-    caught = catch ParseErr
-    return
-  }
-}
-entry Main.main/0
-`
+// src throws two exception types behind a virtual call. It lives in
+// exceptions.ir so the same file feeds the mahjong CLI (-in=…) and the
+// tracing integration tests.
+//
+//go:embed exceptions.ir
+var src string
 
 func main() {
 	prog, err := mahjong.ParseProgram("exceptions.ir", src)

@@ -10,51 +10,19 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
 	"mahjong"
 )
 
-const figure1 = `
-// Figure 1 of the Mahjong paper (PLDI'17).
-class A {
-  field f: A
-  method foo(): void { return }
-}
-class B extends A {
-  method foo(): void { return }
-}
-class C extends A {
-  method foo(): void { return }
-}
-class Main {
-  static method main(): void {
-    var x: A
-    var y: A
-    var z: A
-    var a: A
-    var c: C
-    var t4: A
-    var t5: A
-    var t6: A
-    x = new A          // o1
-    y = new A          // o2
-    z = new A          // o3
-    t4 = new B         // o4
-    x.f = t4
-    t5 = new C         // o5
-    y.f = t5
-    t6 = new C         // o6
-    z.f = t6
-    a = z.f
-    a.foo()            // mono-call to C.foo under alloc-site
-    c = (C) a          // safe cast under alloc-site
-    return
-  }
-}
-entry Main.main/0
-`
+// figure1 is the paper's Figure 1 program. It lives in quickstart.ir so
+// the same file feeds `mahjong -in=examples/quickstart/quickstart.ir`
+// and the tracing integration tests.
+//
+//go:embed quickstart.ir
+var figure1 string
 
 func main() {
 	prog, err := mahjong.ParseProgram("figure1.ir", figure1)

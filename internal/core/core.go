@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mahjong/internal/automata"
@@ -27,6 +28,7 @@ import (
 	"mahjong/internal/fpg"
 	"mahjong/internal/lang"
 	"mahjong/internal/pta"
+	"mahjong/internal/trace"
 	"mahjong/internal/unionfind"
 )
 
@@ -61,6 +63,11 @@ type Options struct {
 	// merge pair per equivalence test; exhaustion aborts BuildContext with
 	// an error wrapping budget.ErrExhausted.
 	Meter *budget.Meter
+
+	// Trace, when enabled, records a "core.build" span with one
+	// "automata.equiv" child per merge worker, attributing merge pairs
+	// per worker. The zero Ctx disables tracing at no cost.
+	Trace trace.Ctx
 }
 
 // Result is the heap abstraction built by the modeler.
@@ -118,6 +125,10 @@ func Build(g *fpg.Graph, opts Options) *Result {
 // *failure.InternalError rather than tearing down the process; the
 // first such failure cancels the remaining workers.
 func BuildContext(ctx context.Context, g *fpg.Graph, opts Options) (res *Result, err error) {
+	// Registered before the stage guard so the span closes tagged with
+	// the recovered error (see pta.SolveContext for the idiom).
+	sp := opts.Trace.Start(faultinject.StageModel)
+	defer func() { sp.Close(err) }()
 	defer failure.Recover(faultinject.StageModel, &err)
 	if err := faultinject.Fire(faultinject.StageModel); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -194,7 +205,7 @@ func BuildContext(ctx context.Context, g *fpg.Graph, opts Options) (res *Result,
 		})
 	}
 	uf := unionfind.New(len(g.Objs))
-	mergeGroup := func(nodes []int) {
+	mergeGroup := func(nodes []int, pairs *int64) {
 		var reps []int
 		for _, n := range nodes {
 			if mergeCtx.Err() != nil {
@@ -209,6 +220,7 @@ func BuildContext(ctx context.Context, g *fpg.Graph, opts Options) (res *Result,
 					fail(merr)
 					return
 				}
+				*pairs++
 				if equivalent(u, g, opts, r, n) {
 					uf.Union(r, n)
 					merged = true
@@ -220,35 +232,59 @@ func BuildContext(ctx context.Context, g *fpg.Graph, opts Options) (res *Result,
 			}
 		}
 	}
-	runGroup := func(nodes []int) {
+	// runGroup isolates one group's merge: a recovered panic latches the
+	// first error and closes the worker's span tagged with it (the first
+	// close wins, so the worker loop's normal End becomes a no-op).
+	runGroup := func(nodes []int, wsp trace.Span, pairs *int64) {
 		defer func() {
 			if r := recover(); r != nil {
-				fail(failure.AsInternal(faultinject.StageModel, r))
+				e := failure.AsInternal(faultinject.StageModel, r)
+				wsp.Close(e)
+				fail(e)
 			}
 		}()
-		mergeGroup(nodes)
+		mergeGroup(nodes, pairs)
 	}
+	// Each merge worker gets its own "automata.equiv" span attributed by
+	// worker index, counting the equivalence pairs it tested; the spans
+	// sum to the parent's merge_pairs total. The sequential path is
+	// worker 0, so traced runs always see at least one worker span.
+	var totalPairs int64
 	if workers == 1 || len(groupList) < 2 {
+		wsp := sp.Ctx().Start(faultinject.StageEquiv)
+		wsp.Worker(0)
+		var pairs int64
 		for _, nodes := range groupList {
-			runGroup(nodes)
+			runGroup(nodes, wsp, &pairs)
 		}
+		wsp.Add("merge_pairs", pairs)
+		wsp.End()
+		totalPairs = pairs
 	} else {
 		var wg sync.WaitGroup
+		var pairsTotal atomic.Int64
 		work := make(chan []int)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
+				wsp := sp.Ctx().Start(faultinject.StageEquiv)
+				wsp.Worker(w)
+				var pairs int64
 				for nodes := range work {
-					runGroup(nodes)
+					runGroup(nodes, wsp, &pairs)
 				}
-			}()
+				wsp.Add("merge_pairs", pairs)
+				wsp.End()
+				pairsTotal.Add(pairs)
+			}(w)
 		}
 		for _, nodes := range groupList {
 			work <- nodes
 		}
 		close(work)
 		wg.Wait()
+		totalPairs = pairsTotal.Load()
 	}
 	if mergeErr != nil {
 		if ie, ok := mergeErr.(*failure.InternalError); ok {
@@ -264,6 +300,12 @@ func BuildContext(ctx context.Context, g *fpg.Graph, opts Options) (res *Result,
 	res.DFAStates = u.NumStates()
 	res.SumDFAStates = sumStates
 	res.Duration = time.Since(start)
+	sp.Add("objects", int64(res.NumObjects))
+	sp.Add("merged_objects", int64(res.NumMerged))
+	sp.Add("classes", int64(len(res.Classes)))
+	sp.Add("dfa_states", int64(res.DFAStates))
+	sp.Add("sum_dfa_states", int64(res.SumDFAStates))
+	sp.Add("merge_pairs", totalPairs)
 	return res, nil
 }
 

@@ -22,6 +22,7 @@ import (
 	"mahjong/internal/faultinject"
 	"mahjong/internal/lang"
 	"mahjong/internal/pta"
+	"mahjong/internal/trace"
 )
 
 // NullNode is the node ID of the dummy null object.
@@ -67,6 +68,10 @@ type Options struct {
 	// for each field points-to fact the builder materializes; exhaustion
 	// aborts BuildContext with an error wrapping budget.ErrExhausted.
 	Meter *budget.Meter
+
+	// Trace, when enabled, records an "fpg.build" span carrying object/
+	// field/fact counters. The zero Ctx disables tracing at no cost.
+	Trace trace.Ctx
 }
 
 // Build constructs the FPG from a points-to result. The result is
@@ -90,6 +95,10 @@ func Build(r *pta.Result, opts Options) *Graph {
 // the resource budget in opts.Meter. A recovered panic in the builder is
 // returned as a *failure.InternalError with stage "fpg.build".
 func BuildContext(ctx context.Context, r *pta.Result, opts Options) (g *Graph, err error) {
+	// Registered before the stage guard so the span closes tagged with
+	// the recovered error (see pta.SolveContext for the idiom).
+	sp := opts.Trace.Start(faultinject.StageFPG)
+	defer func() { sp.Close(err) }()
 	defer failure.Recover(faultinject.StageFPG, &err)
 	if err := faultinject.Fire(faultinject.StageFPG); err != nil {
 		return nil, fmt.Errorf("fpg: %w", err)
@@ -122,6 +131,7 @@ func BuildContext(ctx context.Context, r *pta.Result, opts Options) (g *Graph, e
 	}
 	edges := make(map[key][]int)
 	var buildErr error
+	var fieldFacts int64
 	r.FieldPointsTo(func(base *pta.Obj, field *lang.Field, targets []*pta.Obj) {
 		if buildErr != nil {
 			return
@@ -134,6 +144,7 @@ func BuildContext(ctx context.Context, r *pta.Result, opts Options) (g *Graph, e
 			buildErr = merr
 			return
 		}
+		fieldFacts += int64(len(targets))
 		fid := g.fieldID(field)
 		k := key{bn, fid}
 		for _, t := range targets {
@@ -176,6 +187,10 @@ func BuildContext(ctx context.Context, r *pta.Result, opts Options) (g *Graph, e
 		sort.Slice(es, func(i, j int) bool { return es[i].Field < es[j].Field })
 		g.Out[id] = es
 	}
+	sp.Add("objects", int64(g.NumObjects()))
+	sp.Add("types", int64(g.NumTypes()))
+	sp.Add("fields", int64(g.NumFields()))
+	sp.Add("field_facts", fieldFacts)
 	return g, nil
 }
 

@@ -19,12 +19,16 @@ import (
 //  3. metrics — the server's knownStages registry pre-declares every stage
 //     as a mahjongd_stage_failures_total label, so /metrics exposes a
 //     stable, zero-valued series per stage instead of materializing labels
-//     only after the first failure.
+//     only after the first failure;
+//
+//  4. traces — every span opened with trace.Ctx.Start must name a declared
+//     stage, so span trees, the fault matrix, and the /metrics duration
+//     histograms all speak the same vocabulary.
 //
 // Cross-checks in both directions: a stage used with failure.Recover /
-// failure.AsInternal (or fired at a seam) must be declared; a declared stage
-// must be seamed and listed in knownStages; a knownStages entry must match a
-// declared constant.
+// failure.AsInternal (or fired at a seam, or opened as a trace span) must be
+// declared; a declared stage must be seamed and listed in knownStages; a
+// knownStages entry must match a declared constant.
 //
 // The analyzer needs the whole module in view: it runs only when both the
 // faultinject and server packages are part of the load (mahjongvet's
@@ -81,9 +85,10 @@ func runStageHook(m *ModulePass) {
 		}
 	}
 
-	// Registry 2: Fire/Mutate seams; registry 3 inputs: failure.* uses.
+	// Registry 2: Fire/Mutate seams; registry 3 inputs: failure.* uses;
+	// registry 4 inputs: trace span Start calls.
 	seamed := make(map[string]bool)
-	var failureUses, seamUses []struct {
+	var failureUses, seamUses, traceUses []struct {
 		stage string
 		use   stageUse
 	}
@@ -113,6 +118,15 @@ func runStageHook(m *ModulePass) {
 								stage string
 								use   stageUse
 							}{val, stageUse{n.Args[0].Pos(), "failure." + fn.Name()}})
+						}
+					case fromPackage(fn, "trace", "mahjong/internal/trace") && fn.Name() == "Start":
+						if val, ok := stringVal(pkg.Info, n.Args[0]); ok {
+							traceUses = append(traceUses, struct {
+								stage string
+								use   stageUse
+							}{val, stageUse{n.Args[0].Pos(), "trace.Ctx.Start"}})
+						} else {
+							m.Reportf(n.Args[0].Pos(), "trace span name is not a constant string: span stages must be faultinject Stage* constants so traces, the fault matrix and /metrics share one vocabulary")
 						}
 					}
 				case *ast.KeyValueExpr:
@@ -185,6 +199,12 @@ func runStageHook(m *ModulePass) {
 	for _, u := range seamUses {
 		if _, ok := declared[u.stage]; !ok {
 			m.Reportf(u.use.pos, "stage %q is fired at a %s seam but not declared as a faultinject Stage* constant", u.stage, u.use.what)
+		}
+	}
+	// Cross-check 1b: trace span names must come from the stage registry.
+	for _, u := range traceUses {
+		if _, ok := declared[u.stage]; !ok {
+			m.Reportf(u.use.pos, "trace span stage %q is not declared as a faultinject Stage* constant: span trees must use the registered stage vocabulary", u.stage)
 		}
 	}
 	// Cross-check 2b: declared stages must be seamed and known to metrics.

@@ -6,6 +6,7 @@ package use
 
 import (
 	"mahjong/internal/failure"
+	"mahjong/internal/trace"
 
 	fi "mahjong/internal/lint/testdata/src/stagehook/faultinject"
 )
@@ -18,4 +19,11 @@ func seams() {
 
 func uses() {
 	_ = failure.AsInternal("zz.unknown", "boom") // want "is used with failure.AsInternal but not declared"
+}
+
+func spans(tc trace.Ctx, dynamic string) {
+	sp := tc.Start(fi.StageGood) // a declared stage: no finding
+	sp.End()
+	tc.Start("qq.offbook").End() // want "trace span stage .qq.offbook. is not declared"
+	tc.Start(dynamic).End()      // want "trace span name is not a constant string"
 }

@@ -35,6 +35,14 @@ const sccMinTrigger = 128
 
 // collapseCycles runs one condensation pass and resets the trigger.
 func (s *solver) collapseCycles() {
+	// Each pass gets its own child span under the solve span. A budget
+	// or cancellation sentinel (or a panic) can unwind mid-Tarjan, past
+	// this frame without returning; the deferred CloseAborted closes the
+	// span during that unwind — no recover here, the sentinel must keep
+	// travelling to run()'s handler — while the normal path's End wins
+	// when the pass completes.
+	csp := s.span.Ctx().Start(faultinject.StageCollapse)
+	defer csp.CloseAborted()
 	// Injection seam for the fault matrix: a typed error panics through
 	// the run loop's sentinel recovery (which re-raises non-sentinels)
 	// into the stage guard, reproducing a bug striking while Tarjan
@@ -43,6 +51,7 @@ func (s *solver) collapseCycles() {
 	if err := faultinject.Fire(faultinject.StageCollapse); err != nil {
 		panic(&failure.InternalError{Stage: faultinject.StageCollapse, Value: err, Stack: debug.Stack()})
 	}
+	sccsBefore, nodesBefore := s.stats.CollapsedSCCs, s.stats.CollapsedNodes
 	s.newCopyEdges = 0
 	s.stats.SCCPasses++
 	s.tarjanCopySCCs()
@@ -52,6 +61,11 @@ func (s *solver) collapseCycles() {
 	if s.sccTrigger < sccMinTrigger {
 		s.sccTrigger = sccMinTrigger
 	}
+	// Per-pass deltas: summed over all collapse spans they equal the
+	// solve span's totals — the accounting the integration test checks.
+	csp.Add("collapsed_sccs", int64(s.stats.CollapsedSCCs-sccsBefore))
+	csp.Add("collapsed_nodes", int64(s.stats.CollapsedNodes-nodesBefore))
+	csp.End()
 }
 
 // tarjanCopySCCs finds SCCs of the filter-free copy subgraph (over

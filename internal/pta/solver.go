@@ -11,6 +11,7 @@ import (
 	"mahjong/internal/failure"
 	"mahjong/internal/faultinject"
 	"mahjong/internal/lang"
+	"mahjong/internal/trace"
 	"mahjong/internal/unionfind"
 )
 
@@ -62,6 +63,11 @@ type Options struct {
 	// only slower; the flag exists for A/B equivalence tests and
 	// ablation benchmarks.
 	NoOpt bool
+
+	// Trace, when enabled, records a "pta.solve" span for the run (with
+	// per-pass "pta.collapse" child spans) carrying the Stats counters
+	// as span deltas. The zero Ctx disables tracing at no cost.
+	Trace trace.Ctx
 }
 
 // nodeKind discriminates pointer nodes.
@@ -213,6 +219,7 @@ type solver struct {
 	scratch bitset.Set // filtered() output buffer, consumed immediately
 
 	stats Stats
+	span  trace.Span // the run's "pta.solve" span; zero when untraced
 }
 
 type ctxObjKey struct {
@@ -249,6 +256,17 @@ func Solve(prog *lang.Program, opts Options) (*Result, error) {
 // context.DeadlineExceeded. Budget overruns keep Solve's semantics
 // (partial Result, Aborted=true, nil error).
 func SolveContext(ctx context.Context, prog *lang.Program, opts Options) (res *Result, err error) {
+	// The span-closing defer is registered before the stage guard so it
+	// runs after Recover has converted any panic into the named error:
+	// the span closes tagged with the failure the caller will see.
+	sp := opts.Trace.Start(faultinject.StageSolve)
+	defer func() {
+		if err == nil && res != nil && res.Aborted {
+			sp.FailTag(trace.FailBudget, "work budget exhausted (partial result)")
+			return
+		}
+		sp.Close(err)
+	}()
 	// Panic isolation: a bug (or injected fault) escaping the solve
 	// surfaces as a typed *failure.InternalError instead of unwinding
 	// the caller — in mahjongd, failing one job instead of the daemon.
@@ -297,6 +315,7 @@ func SolveContext(ctx context.Context, prog *lang.Program, opts Options) (res *R
 		sccTrigger:  sccMinTrigger,
 	}
 	s.emptyHeap = s.ctxt.Empty()
+	s.span = sp
 	// Poll the context only when it can actually fire. A nil Done channel
 	// means the context can never be cancelled and carries no deadline —
 	// context.Background(), or any value-only child of it. The previous
@@ -313,6 +332,7 @@ func SolveContext(ctx context.Context, prog *lang.Program, opts Options) (res *R
 		s.hasTimeout = true
 	}
 	aborted, cancelled, exhausted := s.run()
+	s.recordSpan(sp)
 	if cancelled {
 		return nil, fmt.Errorf("pta: analysis interrupted after %d work units: %w", s.work, ctx.Err())
 	}
@@ -327,6 +347,26 @@ func SolveContext(ctx context.Context, prog *lang.Program, opts Options) (res *R
 		Duration: time.Since(start),
 		solver:   s,
 	}, nil
+}
+
+// recordSpan mirrors the run's Stats onto the solve span so the
+// span-accounting tests can cross-check trace counters against
+// Result.Stats and Report.Solver. Called on every non-panicking exit
+// from run(), including budget/cancel aborts where the partial counters
+// are still meaningful.
+func (s *solver) recordSpan(sp trace.Span) {
+	st := s.stats
+	sp.Add("nodes", int64(len(s.nodes)))
+	sp.Add("edges", int64(st.Edges))
+	sp.Add("copy_edges", int64(st.CopyEdges))
+	sp.Add("collapsed_sccs", int64(st.CollapsedSCCs))
+	sp.Add("collapsed_nodes", int64(st.CollapsedNodes))
+	sp.Add("scc_passes", int64(st.SCCPasses))
+	sp.Add("propagated_bits", st.PropagatedBits)
+	sp.Add("filter_masks", int64(st.FilterMasks))
+	sp.Add("filter_mask_hits", st.FilterMaskHits)
+	sp.Add("worklist_peak", int64(s.worklist.peak))
+	sp.Add("work", s.work)
 }
 
 // run executes the worklist loop; aborted reports a legacy work-budget

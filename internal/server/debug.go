@@ -1,0 +1,23 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns the net/http/pprof profiling surface on a
+// dedicated mux. It is deliberately NOT part of Server's mux: profiling
+// endpoints leak heap contents and symbol names, so mahjongd only binds
+// them on the opt-in -debug-addr listener (typically localhost), never
+// on the serving address. Handlers are registered explicitly rather
+// than via the net/http/pprof import side effect, so nothing ever lands
+// on http.DefaultServeMux either.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mahjong"
+	"mahjong/internal/trace"
 )
 
 // JobState is the lifecycle state of a submitted analysis job.
@@ -83,6 +84,25 @@ type job struct {
 	prog *mahjong.Program
 	abs  *mahjong.Abstraction
 	rep  *mahjong.Report
+	// traces holds one snapshotted span tree per pipeline attempt: a
+	// degraded job carries the failed Mahjong attempt and the alloc-site
+	// re-run side by side.
+	traces []*trace.Trace
+}
+
+// addTrace appends one attempt's snapshotted span tree.
+func (j *job) addTrace(t *trace.Trace) {
+	j.mu.Lock()
+	j.traces = append(j.traces, t)
+	j.mu.Unlock()
+}
+
+// traceSnapshots returns the job's per-attempt traces. Each element is
+// an immutable snapshot, so only the slice header needs copying.
+func (j *job) traceSnapshots() []*trace.Trace {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]*trace.Trace(nil), j.traces...)
 }
 
 // view is the JSON rendering of a job's status.

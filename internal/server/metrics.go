@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mahjong/internal/faultinject"
+	"mahjong/internal/trace"
 )
 
 // knownStages pre-declares every pipeline stage as a
@@ -67,6 +68,105 @@ type metrics struct {
 	solverSCCs       atomic.Int64 // copy cycles collapsed
 	solverSCCNodes   atomic.Int64 // nodes folded into cycle representatives
 	solverMaskHits   atomic.Int64 // filtered propagations served by class masks
+
+	// stageDur holds one fixed-bucket duration histogram per known
+	// pipeline stage, fed from job span trees. The map is built once in
+	// newMetrics and never mutated afterwards, so lookups are lock-free;
+	// the bucket counters themselves are atomics.
+	stageDur map[string]*durHist
+}
+
+// newMetrics returns a metrics set with a pre-sized histogram per
+// registered pipeline stage.
+func newMetrics() *metrics {
+	m := &metrics{stageDur: make(map[string]*durHist, len(knownStages))}
+	for _, stage := range knownStages {
+		m.stageDur[stage] = &durHist{}
+	}
+	return m
+}
+
+// histBoundsNS are the stage-duration histogram bucket upper bounds in
+// nanoseconds (1ms … 100s); +Inf is implicit. Fixed bounds keep the
+// /metrics output deterministic and scrape-friendly.
+var histBoundsNS = [...]int64{
+	int64(time.Millisecond),
+	int64(10 * time.Millisecond),
+	int64(100 * time.Millisecond),
+	int64(time.Second),
+	int64(10 * time.Second),
+	int64(100 * time.Second),
+}
+
+// durHist is a fixed-bucket duration histogram (atomic, lock-free).
+// buckets[i] counts observations <= histBoundsNS[i]; inf catches the
+// rest. Cumulative counts are computed at snapshot time.
+type durHist struct {
+	buckets [len(histBoundsNS)]atomic.Int64
+	inf     atomic.Int64
+	sumNS   atomic.Int64
+}
+
+func (h *durHist) observe(ns int64) {
+	h.sumNS.Add(ns)
+	for i, bound := range histBoundsNS {
+		if ns <= bound {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	h.inf.Add(1)
+}
+
+// observeTrace feeds every closed span of one attempt's snapshot into
+// the per-stage duration histograms. Open spans (DurNS < 0) and stages
+// outside the registry are skipped — the latter cannot happen for spans
+// produced by the pipeline, which stagehook pins to the registry.
+func (m *metrics) observeTrace(t *trace.Trace) {
+	if m.stageDur == nil {
+		return
+	}
+	for i := range t.Spans {
+		s := &t.Spans[i]
+		if s.DurNS < 0 {
+			continue
+		}
+		if h := m.stageDur[s.Stage]; h != nil {
+			h.observe(s.DurNS)
+		}
+	}
+}
+
+// StageDuration is the JSON form of one stage's duration histogram.
+type StageDuration struct {
+	Count int64 `json:"count"`
+	SumMS int64 `json:"sum_ms"`
+	// Buckets holds cumulative observation counts per bound in
+	// histBoundsNS order (the +Inf bucket equals Count).
+	Buckets []int64 `json:"buckets"`
+}
+
+// stageDurationSnapshot renders the histograms with cumulative bucket
+// counts, Prometheus-style.
+func (m *metrics) stageDurationSnapshot() map[string]StageDuration {
+	out := make(map[string]StageDuration, len(m.stageDur))
+	for _, stage := range knownStages {
+		h := m.stageDur[stage]
+		if h == nil {
+			continue
+		}
+		var sd StageDuration
+		var cum int64
+		sd.Buckets = make([]int64, 0, len(histBoundsNS))
+		for i := range h.buckets {
+			cum += h.buckets[i].Load()
+			sd.Buckets = append(sd.Buckets, cum)
+		}
+		sd.Count = cum + h.inf.Load()
+		sd.SumMS = h.sumNS.Load() / int64(time.Millisecond)
+		out[stage] = sd
+	}
+	return out
 }
 
 // noteStageFailure bumps the per-stage failure counter.
@@ -120,6 +220,10 @@ type MetricsSnapshot struct {
 	SolverSCCsCollapsed   int64 `json:"solver_sccs_collapsed"`
 	SolverNodesCollapsed  int64 `json:"solver_nodes_collapsed"`
 	SolverFilterMaskHits  int64 `json:"solver_filter_mask_hits"`
+
+	// StageDurations histograms pipeline-stage wall time, fed from the
+	// span trees of finished job attempts.
+	StageDurations map[string]StageDuration `json:"stage_durations"`
 }
 
 func (m *metrics) snapshot(queued, cacheEntries int) MetricsSnapshot {
@@ -153,6 +257,8 @@ func (m *metrics) snapshot(queued, cacheEntries int) MetricsSnapshot {
 		SolverSCCsCollapsed:   m.solverSCCs.Load(),
 		SolverNodesCollapsed:  m.solverSCCNodes.Load(),
 		SolverFilterMaskHits:  m.solverMaskHits.Load(),
+
+		StageDurations: m.stageDurationSnapshot(),
 	}
 }
 
@@ -202,4 +308,33 @@ func writeProm(w io.Writer, s MetricsSnapshot) {
 	counter("mahjongd_solver_sccs_collapsed_total", "Copy cycles collapsed onto representatives.", s.SolverSCCsCollapsed)
 	counter("mahjongd_solver_nodes_collapsed_total", "Pointer nodes folded into cycle representatives.", s.SolverNodesCollapsed)
 	counter("mahjongd_solver_filter_mask_hits_total", "Filtered propagations served by class-indexed masks.", s.SolverFilterMaskHits)
+
+	// Stage-duration histograms: one series set per registered stage in
+	// sorted order (collect-sort-emit keeps the exposition deterministic).
+	fmt.Fprintf(w, "# HELP mahjongd_stage_duration_seconds Pipeline stage wall time from job span traces.\n# TYPE mahjongd_stage_duration_seconds histogram\n")
+	hstages := make([]string, 0, len(s.StageDurations))
+	for stage := range s.StageDurations {
+		hstages = append(hstages, stage)
+	}
+	sort.Strings(hstages)
+	for _, stage := range hstages {
+		sd := s.StageDurations[stage]
+		for i, bound := range histBoundsNS {
+			var cum int64
+			if i < len(sd.Buckets) {
+				cum = sd.Buckets[i]
+			}
+			fmt.Fprintf(w, "mahjongd_stage_duration_seconds_bucket{stage=%q,le=%q} %d\n",
+				stage, promBound(bound), cum)
+		}
+		fmt.Fprintf(w, "mahjongd_stage_duration_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", stage, sd.Count)
+		fmt.Fprintf(w, "mahjongd_stage_duration_seconds_sum{stage=%q} %g\n", stage, float64(sd.SumMS)/1e3)
+		fmt.Fprintf(w, "mahjongd_stage_duration_seconds_count{stage=%q} %d\n", stage, sd.Count)
+	}
+}
+
+// promBound renders a nanosecond bucket bound as a seconds le= label
+// ("0.001", "0.01", …, "100").
+func promBound(ns int64) string {
+	return fmt.Sprintf("%g", float64(ns)/float64(time.Second))
 }

@@ -15,7 +15,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -27,6 +29,7 @@ import (
 	"mahjong/internal/failure"
 	"mahjong/internal/faultinject"
 	"mahjong/internal/lang"
+	"mahjong/internal/trace"
 )
 
 // Config tunes a Server.
@@ -52,6 +55,13 @@ type Config struct {
 	// NoDegrade disables the allocation-site fallback for jobs that do
 	// not set "degrade" explicitly (degradation defaults to on).
 	NoDegrade bool
+	// SlowJob, when positive, logs the span tree of every job whose
+	// execution takes at least this long; 0 disables the slow-job log.
+	SlowJob time.Duration
+	// SlowJobLog receives slow-job span trees; nil = os.Stderr. Writes
+	// are whole trees (one Write call each), so any io.Writer whose
+	// Write is atomic works concurrently.
+	SlowJobLog io.Writer
 }
 
 // maxTimeoutMS caps timeout_ms at 24 hours: beyond that a "timeout" is
@@ -107,7 +117,7 @@ func New(cfg Config) *Server {
 		store:   newJobStore(),
 		queue:   make(chan *job, cfg.QueueDepth),
 		cache:   newAbsCache(cacheCap),
-		metrics: &metrics{},
+		metrics: newMetrics(),
 		quit:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
@@ -235,6 +245,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /jobs/{id}/casts", s.handleCasts)
 	s.mux.HandleFunc("GET /jobs/{id}/polycalls", s.handlePolyCalls)
 	s.mux.HandleFunc("GET /jobs/{id}/abstraction", s.handleAbstraction)
+	s.mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 }
 
 // ---- submission ----
@@ -368,7 +379,6 @@ func (s *Server) runJob(j *job) {
 	s.metrics.jobsRunning.Add(-1)
 
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.finished = time.Now()
 	j.cancel = nil
 	switch {
@@ -387,6 +397,31 @@ func (s *Server) runJob(j *job) {
 		j.errMsg = err.Error()
 		s.metrics.jobsFailed.Add(1)
 	}
+	elapsed := j.finished.Sub(j.started)
+	j.mu.Unlock()
+	if s.cfg.SlowJob > 0 && elapsed >= s.cfg.SlowJob {
+		s.logSlowJob(j, elapsed)
+	}
+}
+
+// logSlowJob dumps a slow job's span trees (one per attempt) to the
+// configured slow-job log. The whole report goes out in a single Write
+// so concurrent slow jobs do not interleave line-by-line.
+func (s *Server) logSlowJob(j *job, elapsed time.Duration) {
+	out := s.cfg.SlowJobLog
+	if out == nil {
+		out = os.Stderr
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "mahjongd: slow job %s took %v (threshold %v); span tree:\n",
+		j.id, elapsed.Round(time.Millisecond), s.cfg.SlowJob)
+	for i, t := range j.traceSnapshots() {
+		if i > 0 {
+			fmt.Fprintf(&buf, "--- attempt %d ---\n", i+1)
+		}
+		t.WriteTree(&buf)
+	}
+	out.Write(buf.Bytes()) //nolint:errcheck // best-effort diagnostics
 }
 
 // executeIsolated is the worker's outermost failure boundary: a panic
@@ -497,35 +532,17 @@ func (s *Server) execute(ctx context.Context, j *job) error {
 		BudgetWork: j.spec.BudgetWork,
 		Resources:  resources,
 	}
-	if cfg.Heap == mahjong.HeapMahjong {
-		abs, hit, err := s.abstractionFor(ctx, prog, resources)
-		switch {
-		case err == nil:
-			cfg.Abstraction = abs
-			j.mu.Lock()
-			j.abs = abs
-			j.cacheHit = hit
-			j.mu.Unlock()
-		case degrade && degradable(err):
-			s.noteFailure(err)
-			s.markDegraded(j, err)
-			cfg.Heap = mahjong.HeapAllocSite
-			cfg.Abstraction = nil
-		default:
-			return err
-		}
-	}
-
-	rep, err := mahjong.AnalyzeContext(ctx, prog, cfg)
+	rep, err := s.runAttempt(ctx, j, prog, cfg, resources)
 	if err != nil && degrade && degradable(err) && cfg.Heap == mahjong.HeapMahjong {
-		// The main analysis itself failed on the Mahjong abstraction
-		// (e.g. a client-evaluation bug): one more attempt on the
-		// allocation-site baseline.
+		// The Mahjong pipeline failed somewhere — abstraction build or
+		// the main analysis on top of it: one more attempt on the
+		// allocation-site baseline, under its own tracer so the failed
+		// attempt's span tree survives untouched next to the re-run's.
 		s.noteFailure(err)
 		s.markDegraded(j, err)
 		cfg.Heap = mahjong.HeapAllocSite
 		cfg.Abstraction = nil
-		rep, err = mahjong.AnalyzeContext(ctx, prog, cfg)
+		rep, err = s.runAttempt(ctx, j, prog, cfg, resources)
 	}
 	if err != nil {
 		return err
@@ -540,6 +557,36 @@ func (s *Server) execute(ctx context.Context, j *job) error {
 	j.rep = rep
 	j.mu.Unlock()
 	return nil
+}
+
+// runAttempt executes one full pipeline attempt — abstraction (when
+// cfg.Heap is mahjong) plus the main analysis — under its own tracer
+// rooted at a server.job span. The attempt's span tree is snapshotted
+// onto the job and fed to the stage-duration histograms no matter how
+// the attempt ends, so a degraded re-run appends a second trace instead
+// of corrupting the first.
+func (s *Server) runAttempt(ctx context.Context, j *job, prog *mahjong.Program, cfg mahjong.Config, resources mahjong.ResourceBudget) (rep *mahjong.Report, err error) {
+	tr := trace.New()
+	root := tr.Root().Start(faultinject.StageJob)
+	defer func() {
+		root.Close(err)
+		snap := tr.Snapshot()
+		j.addTrace(snap)
+		s.metrics.observeTrace(snap)
+	}()
+	cfg.Trace = root.Ctx()
+	if cfg.Heap == mahjong.HeapMahjong {
+		abs, hit, aerr := s.abstractionFor(ctx, prog, resources, root.Ctx())
+		if aerr != nil {
+			return nil, aerr
+		}
+		cfg.Abstraction = abs
+		j.mu.Lock()
+		j.abs = abs
+		j.cacheHit = hit
+		j.mu.Unlock()
+	}
+	return mahjong.AnalyzeContext(ctx, prog, cfg)
 }
 
 // markDegraded records that j fell back to the allocation-site
@@ -562,13 +609,14 @@ func (s *Server) markDegraded(j *job, cause error) {
 // rebuilt from scratch once. Failed builds are never cached (getOrFill
 // drops the entry), so degraded or poisoned results cannot enter the
 // cache.
-func (s *Server) abstractionFor(ctx context.Context, prog *mahjong.Program, resources mahjong.ResourceBudget) (*mahjong.Abstraction, bool, error) {
+func (s *Server) abstractionFor(ctx context.Context, prog *mahjong.Program, resources mahjong.ResourceBudget, tc trace.Ctx) (*mahjong.Abstraction, bool, error) {
 	key := cacheKey(mahjong.PrintProgram(prog))
 	for attempt := 0; ; attempt++ {
 		var built *mahjong.Abstraction
 		data, hit, err := s.cache.getOrFill(ctx, key, func() ([]byte, error) {
 			abs, err := mahjong.BuildAbstractionContext(ctx, prog, mahjong.AbstractionOptions{
 				Resources: resources,
+				Trace:     tc,
 			})
 			if err != nil {
 				return nil, err
@@ -593,8 +641,10 @@ func (s *Server) abstractionFor(ctx context.Context, prog *mahjong.Program, reso
 		s.metrics.cacheHits.Add(1)
 		// The fault-injection seam corrupts cached bytes here, the same
 		// place bit rot or a buggy serializer would.
+		sp := tc.Start(faultinject.StageCacheLoad)
 		data = faultinject.Mutate(faultinject.StageCacheLoad, data)
 		abs, err := mahjong.LoadAbstraction(bytes.NewReader(data), prog)
+		sp.Close(err)
 		if err == nil {
 			return abs, true, nil
 		}
@@ -819,6 +869,29 @@ func (s *Server) handleAbstraction(w http.ResponseWriter, r *http.Request) {
 	if err := abs.Save(w); err != nil {
 		httpError(w, http.StatusInternalServerError, "persisting abstraction: %v", err)
 	}
+}
+
+// handleTrace serves a job's span trees, one per pipeline attempt (a
+// degraded job has two: the failed Mahjong attempt and the alloc-site
+// re-run). Unlike the result endpoints it also answers for failed and
+// cancelled jobs — the trace of a failed attempt is exactly what the
+// caller wants to look at.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.store.get(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	attempts := j.traceSnapshots()
+	if len(attempts) == 0 {
+		httpError(w, http.StatusConflict, "job %s has no trace yet", j.id)
+		return
+	}
+	out := struct {
+		Job      string         `json:"job"`
+		Attempts []*trace.Trace `json:"attempts"`
+	}{Job: j.id, Attempts: attempts}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // findVar resolves "Class.method/arity#name" against the program.

@@ -1,0 +1,223 @@
+package server
+
+// Tests for the daemon's observability surface: GET /jobs/{id}/trace,
+// per-stage duration histograms in /metrics, the slow-job log, and the
+// guarantee that pprof lives only on the opt-in debug handler.
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mahjong/internal/faultinject"
+	"mahjong/internal/trace"
+)
+
+// traceBody is the JSON shape of GET /jobs/{id}/trace.
+type traceBody struct {
+	Job      string         `json:"job"`
+	Attempts []*trace.Trace `json:"attempts"`
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	id := submit(t, ts, JobSpec{IR: testIR, Analysis: "2obj"})
+	if v := waitJob(t, ts, id); v.State != StateDone {
+		t.Fatalf("job %s: %s (%s)", id, v.State, v.Error)
+	}
+
+	var body traceBody
+	if resp := getJSON(t, ts.URL+"/jobs/"+id+"/trace", &body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace endpoint: status %d", resp.StatusCode)
+	}
+	if body.Job != id || len(body.Attempts) != 1 {
+		t.Fatalf("want 1 attempt for job %s, got %+v", id, body)
+	}
+	snap := body.Attempts[0]
+	if err := snap.WellFormed(); err != nil {
+		t.Fatalf("served trace malformed: %v", err)
+	}
+	if len(snap.Spans) == 0 || snap.Spans[0].Stage != faultinject.StageJob || snap.Spans[0].Parent != -1 {
+		t.Fatalf("root span must be %s: %+v", faultinject.StageJob, snap.Spans)
+	}
+	for _, stage := range []string{faultinject.StageSolve, faultinject.StageFPG, faultinject.StageModel, faultinject.StageClients} {
+		found := false
+		for _, s := range snap.Spans {
+			if s.Stage == stage {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("trace has no %s span: %+v", stage, snap.Spans)
+		}
+	}
+
+	// Unknown job and no-trace-yet cases.
+	if resp := getJSON(t, ts.URL+"/jobs/zzz/trace", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job trace: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestTraceEndpointDegraded: a degraded job must expose TWO attempts —
+// the failed Mahjong pipeline and the alloc-site re-run — with the
+// first attempt's failure preserved, not overwritten by the second.
+func TestTraceEndpointDegraded(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	t.Cleanup(faultinject.Clear)
+	faultinject.Set(faultinject.OnStage(faultinject.StageModel, faultinject.Once(faultinject.PanicWith("injected modeler bug"))))
+
+	id := submit(t, ts, JobSpec{IR: testIR, Analysis: "ci"})
+	v := waitJob(t, ts, id)
+	faultinject.Clear()
+	if v.State != StateDone || !v.Degraded {
+		t.Fatalf("job %s: state %s degraded %v (%s)", id, v.State, v.Degraded, v.Error)
+	}
+
+	var body traceBody
+	if resp := getJSON(t, ts.URL+"/jobs/"+id+"/trace", &body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace endpoint: status %d", resp.StatusCode)
+	}
+	if len(body.Attempts) != 2 {
+		t.Fatalf("degraded job must serve 2 attempts, got %d", len(body.Attempts))
+	}
+	first, second := body.Attempts[0], body.Attempts[1]
+	if err := first.WellFormed(); err != nil {
+		t.Fatalf("failed attempt's trace malformed: %v", err)
+	}
+	if err := second.WellFormed(); err != nil {
+		t.Fatalf("re-run attempt's trace malformed: %v", err)
+	}
+	if first.Spans[0].Stage != faultinject.StageJob || first.Spans[0].Fail != trace.FailPanic {
+		t.Fatalf("first attempt's root must record the panic: %+v", first.Spans[0])
+	}
+	foundFailedModel := false
+	for _, s := range first.Spans {
+		if s.Stage == faultinject.StageModel && s.Fail == trace.FailPanic {
+			foundFailedModel = true
+		}
+	}
+	if !foundFailedModel {
+		t.Fatalf("first attempt lost the failed %s span: %+v", faultinject.StageModel, first.Spans)
+	}
+	if second.Spans[0].Fail != "" {
+		t.Fatalf("re-run attempt's root must be clean: %+v", second.Spans[0])
+	}
+	for _, s := range second.Spans {
+		if s.Stage == faultinject.StageModel || s.Stage == faultinject.StageFPG {
+			t.Fatalf("alloc-site re-run must not build an abstraction: %+v", s)
+		}
+	}
+}
+
+// TestStageDurationHistograms: after one completed job, /metrics must
+// expose the histogram block with observations for the stages the job
+// actually ran, and zero-valued series for every registered stage.
+func TestStageDurationHistograms(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	id := submit(t, ts, JobSpec{IR: testIR, Analysis: "ci"})
+	if v := waitJob(t, ts, id); v.State != StateDone {
+		t.Fatalf("job: %s", v.State)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(data)
+	if !strings.Contains(text, "# TYPE mahjongd_stage_duration_seconds histogram") {
+		t.Fatalf("no histogram type line in /metrics:\n%s", text)
+	}
+	for _, stage := range knownStages {
+		if !strings.Contains(text, `mahjongd_stage_duration_seconds_count{stage="`+stage+`"}`) {
+			t.Fatalf("stage %s has no duration series:\n%s", stage, text)
+		}
+	}
+	// The job ran: its stage and the solve stage must have observations.
+	for _, want := range []string{
+		`mahjongd_stage_duration_seconds_count{stage="server.job"} 1`,
+		`mahjongd_stage_duration_seconds_count{stage="pta.solve"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in /metrics:\n%s", want, text)
+		}
+	}
+
+	// The JSON form carries the same data.
+	var snap MetricsSnapshot
+	if resp := getJSON(t, ts.URL+"/metrics?format=json", &snap); resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics json: %d", resp.StatusCode)
+	}
+	if snap.StageDurations[faultinject.StageJob].Count != 1 {
+		t.Fatalf("json stage_durations for server.job = %+v", snap.StageDurations[faultinject.StageJob])
+	}
+}
+
+// syncBuffer is a minimal concurrency-safe log sink.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestSlowJobLog(t *testing.T) {
+	var log syncBuffer
+	_, ts := newTestServer(t, Config{Workers: 1, SlowJob: time.Nanosecond, SlowJobLog: &log})
+	id := submit(t, ts, JobSpec{IR: testIR, Analysis: "ci"})
+	if v := waitJob(t, ts, id); v.State != StateDone {
+		t.Fatalf("job: %s", v.State)
+	}
+	out := log.String()
+	if !strings.Contains(out, "slow job "+id) {
+		t.Fatalf("slow-job log missing header:\n%s", out)
+	}
+	for _, stage := range []string{faultinject.StageJob, faultinject.StageSolve, faultinject.StageModel} {
+		if !strings.Contains(out, stage) {
+			t.Fatalf("slow-job span tree missing %s:\n%s", stage, out)
+		}
+	}
+}
+
+// TestPprofOnlyOnDebugHandler: the serving mux must never expose
+// /debug/pprof/, while the explicit DebugHandler must.
+func TestPprofOnlyOnDebugHandler(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("serving mux answered /debug/pprof/ with %d, want 404", resp.StatusCode)
+	}
+
+	dbg := httptest.NewServer(DebugHandler())
+	defer dbg.Close()
+	resp, err = http.Get(dbg.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), "goroutine") {
+		t.Fatalf("debug handler /debug/pprof/: status %d body %q", resp.StatusCode, data)
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"mahjong/internal/parser"
 	"mahjong/internal/pta"
 	"mahjong/internal/synth"
+	"mahjong/internal/trace"
 )
 
 // Program is an analyzable whole program; build one with LoadProgram,
@@ -112,6 +113,12 @@ type AbstractionOptions struct {
 	// modeler) may consume; exhaustion aborts with an error wrapping
 	// ErrBudgetExhausted. Zero value = unlimited.
 	Resources ResourceBudget
+	// Trace, when enabled, records one span per pipeline stage
+	// ("pta.solve", "fpg.build", "core.build" with per-worker
+	// "automata.equiv" children) on the tracer behind the Ctx. Obtain one
+	// from TraceCtx; the zero value disables tracing. See
+	// docs/OBSERVABILITY.md.
+	Trace TraceCtx
 }
 
 // Abstraction is a built Mahjong heap abstraction: the merged-object
@@ -199,6 +206,21 @@ type ResourceBudget = budget.Limits
 // and captured stack.
 type InternalError = failure.InternalError
 
+// TraceCtx attaches pipeline spans to a tracer (internal/trace). The
+// zero value disables tracing. A typical traced run:
+//
+//	tr := mahjong.NewTracer()
+//	abs, _ := mahjong.BuildAbstraction(p, mahjong.AbstractionOptions{Trace: tr.Root()})
+//	rep, _ := mahjong.Analyze(p, mahjong.Config{Heap: mahjong.HeapMahjong, Abstraction: abs, Trace: tr.Root()})
+//	tr.Snapshot().WriteJSON(os.Stdout)
+type TraceCtx = trace.Ctx
+
+// Tracer records the spans of one pipeline run; see TraceCtx.
+type Tracer = trace.Tracer
+
+// NewTracer returns an empty span tracer for TraceCtx.
+func NewTracer() *Tracer { return trace.New() }
+
 // BuildAbstraction runs the Mahjong pipeline of Figure 5: the fast
 // context-insensitive pre-analysis, FPG construction, and the heap
 // modeler (Algorithm 1).
@@ -220,6 +242,7 @@ func BuildAbstractionContext(ctx context.Context, p *Program, opts AbstractionOp
 	pre, err := pta.SolveContext(ctx, p, pta.Options{
 		Budget: pta.Budget{Work: opts.PreBudget},
 		Meter:  meter,
+		Trace:  opts.Trace,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("mahjong: pre-analysis: %w", err)
@@ -233,6 +256,7 @@ func BuildAbstractionContext(ctx context.Context, p *Program, opts AbstractionOp
 	g, err := fpg.BuildContext(ctx, pre, fpg.Options{
 		OmitNullNode: opts.OmitNullNode,
 		Meter:        meter,
+		Trace:        opts.Trace,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("mahjong: fpg: %w", err)
@@ -248,6 +272,7 @@ func BuildAbstractionContext(ctx context.Context, p *Program, opts AbstractionOp
 		Policy:         policy,
 		DisableSharing: opts.DisableSharedAutomata,
 		Meter:          meter,
+		Trace:          opts.Trace,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("mahjong: heap modeling: %w", err)
@@ -288,6 +313,10 @@ type Config struct {
 	// failure: AnalyzeContext returns an error wrapping
 	// ErrBudgetExhausted and no Report.
 	Resources ResourceBudget
+	// Trace, when enabled, records a "pta.solve" span for the main
+	// analysis and a "clients.evaluate" span for client evaluation. The
+	// zero value disables tracing; see AbstractionOptions.Trace.
+	Trace TraceCtx
 }
 
 // Report is the outcome of Analyze.
@@ -349,6 +378,7 @@ func AnalyzeContext(ctx context.Context, p *Program, cfg Config) (*Report, error
 		Heap:     heap,
 		Budget:   pta.Budget{Work: cfg.BudgetWork, Time: cfg.BudgetTime},
 		Meter:    budget.NewMeter(cfg.Resources),
+		Trace:    cfg.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -363,7 +393,7 @@ func AnalyzeContext(ctx context.Context, p *Program, cfg Config) (*Report, error
 		result:    r,
 	}
 	if rep.Scalable {
-		rep.Metrics, err = evaluateClients(r)
+		rep.Metrics, err = evaluateClients(r, cfg.Trace)
 		if err != nil {
 			return nil, err
 		}
@@ -374,12 +404,21 @@ func AnalyzeContext(ctx context.Context, p *Program, cfg Config) (*Report, error
 // evaluateClients runs the three type-dependent clients behind the
 // "clients.evaluate" stage guard: a bug in a client metric fails the
 // run with an *InternalError instead of crashing the caller.
-func evaluateClients(r *pta.Result) (m clients.Metrics, err error) {
+func evaluateClients(r *pta.Result, tc TraceCtx) (m clients.Metrics, err error) {
+	// Span-close defer precedes the stage guard so it observes the
+	// recovered error (see pta.SolveContext for the idiom).
+	sp := tc.Start(faultinject.StageClients)
+	defer func() { sp.Close(err) }()
 	defer failure.Recover(faultinject.StageClients, &err)
 	if err := faultinject.Fire(faultinject.StageClients); err != nil {
 		return clients.Metrics{}, fmt.Errorf("mahjong: clients: %w", err)
 	}
-	return clients.Evaluate(r), nil
+	m = clients.Evaluate(r)
+	sp.Add("call_graph_edges", int64(m.CallGraphEdges))
+	sp.Add("poly_call_sites", int64(m.PolyCallSites))
+	sp.Add("may_fail_casts", int64(m.MayFailCasts))
+	sp.Add("reachable_methods", int64(m.Reachable))
+	return m, nil
 }
 
 // ValidAnalysis reports whether name is accepted by Config.Analysis
