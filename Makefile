@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint serve race clean bench bench-save slowcheck faultmatrix fuzz-smoke trace-smoke cover
+.PHONY: build test lint serve race clean bench bench-save deltacheck slowcheck faultmatrix fuzz-smoke trace-smoke cover
 
 # Total-statement coverage floor over ./internal/... — the seed baseline
 # (88.8% at the time of recording) minus slack for environment noise.
@@ -27,10 +27,19 @@ serve: ## run the analysis daemon on :8080
 bench: ## solver benchmarks, quick single-iteration pass
 	$(GO) test -run '^$$' -bench 'PreAnalysis|Table2' -benchtime=1x -benchmem .
 
-bench-save: ## record solver benchmark numbers in BENCH_solver.json
+bench-save: ## record solver benchmark numbers in BENCH_solver.json + BENCH_incremental.json
 	$(GO) test -run '^$$' -bench 'PreAnalysis|Table2' -benchtime=1x -benchmem . \
 		| $(GO) run ./cmd/benchjson -o BENCH_solver.json
 	@echo wrote BENCH_solver.json
+	$(GO) test -run '^$$' -bench 'IncrementalOneMethodEdit' -benchtime=1x . \
+		| $(GO) run ./cmd/benchjson -o BENCH_incremental.json
+	@echo wrote BENCH_incremental.json
+
+deltacheck: ## warm-vs-cold equivalence sweep for the incremental engine (docs/INCREMENTAL.md)
+	$(GO) test -count=1 -run 'TestIncrementalFacade' .
+	$(GO) test -count=1 ./internal/delta/ -run 'TestRewrite|TestDiff|TestCompute'
+	$(GO) test -count=1 ./internal/pta/ -run 'TestIncremental'
+	$(GO) test -count=1 ./internal/server/ -run 'TestDeltaJob|TestQuery'
 
 slowcheck: ## optimized-vs-naive solver A/B over every benchmark program
 	MAHJONG_SLOWCHECK=1 $(GO) test ./internal/bench -run SolverEquivalence -v

@@ -5,8 +5,10 @@
 //	go test -run '^$' -bench PreAnalysis -benchtime=1x -benchmem . | benchjson -o BENCH_solver.json
 //
 // Each entry records ns/op and, when -benchmem was given, B/op and
-// allocs/op. Non-benchmark lines are ignored, so the full `go test`
-// output can be piped in unfiltered.
+// allocs/op; any other "<value> <unit>" pair — the b.ReportMetric
+// custom units like the incremental benchmark's "speedup" — lands in a
+// "metrics" map keyed by unit. Non-benchmark lines are ignored, so the
+// full `go test` output can be piped in unfiltered.
 package main
 
 import (
@@ -25,6 +27,8 @@ type Entry struct {
 	NsPerOp     float64 `json:"ns_op"`
 	BytesPerOp  int64   `json:"b_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_op,omitempty"`
+	// Metrics holds b.ReportMetric values by their custom unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -98,6 +102,11 @@ func parseLine(line string) (string, Entry, bool) {
 			e.BytesPerOp = int64(v)
 		case "allocs/op":
 			e.AllocsPerOp = int64(v)
+		default:
+			if e.Metrics == nil {
+				e.Metrics = map[string]float64{}
+			}
+			e.Metrics[fields[i+1]] = v
 		}
 	}
 	return name, e, seen

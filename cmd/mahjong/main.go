@@ -51,7 +51,13 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	traceOut := flag.String("trace", "", "write a JSON span trace of the pipeline to this file (docs/OBSERVABILITY.md)")
+	version := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("mahjong", mahjong.Version)
+		return
+	}
 
 	// The trace is written on every exit path — fail() and the
 	// exhaustion exit call flushTrace explicitly because os.Exit skips

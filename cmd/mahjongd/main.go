@@ -39,7 +39,15 @@ func main() {
 	noDegrade := flag.Bool("no-degrade", false, "disable the allocation-site fallback when abstraction building fails")
 	slowJob := flag.Duration("slow-job", 0, "log the span tree of any job taking at least this long (0 = off)")
 	debugAddr := flag.String("debug-addr", "", "listen address for net/http/pprof profiling endpoints (empty = disabled; never exposed on -addr)")
+	deltaStates := flag.Int("delta-states", 4, "completed-job analysis states retained for incremental base_job_id resubmissions (-1 = unbounded)")
+	queryBudget := flag.Int64("query-budget", 0, "work cap for POST /jobs/{id}/query demand solves (0 = 200k, -1 = unlimited)")
+	version := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("mahjongd", mahjong.Version)
+		return
+	}
 
 	srv := server.New(server.Config{
 		Workers:         *workers,
@@ -53,8 +61,10 @@ func main() {
 			BitsetWords: *budgetWords,
 			MergePairs:  *budgetPairs,
 		},
-		NoDegrade: *noDegrade,
-		SlowJob:   *slowJob,
+		NoDegrade:   *noDegrade,
+		SlowJob:     *slowJob,
+		DeltaStates: *deltaStates,
+		QueryBudget: *queryBudget,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,103 @@
+// Incremental-engine benchmark: the headline number for the delta
+// pipeline is the warm/cold re-solve ratio after a one-method edit on a
+// subject ~10× the size of the small benchmark tier. Record it with:
+//
+//	make bench-save    (writes BENCH_incremental.json)
+package mahjong_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"mahjong"
+	"mahjong/internal/delta"
+	"mahjong/internal/faultinject"
+	"mahjong/internal/synth"
+	"mahjong/internal/trace"
+)
+
+// incrementalProfile is luindex scaled to 10× the modules, putting the
+// subject at the top of the benchmark suite's size range — large enough
+// that the pre-analysis solve dominates the pipeline and the warm seed
+// has something worth skipping.
+var incrementalProfile = synth.Profile{
+	Name: "luindex-10x", Seed: 109,
+	Modules: 40, TypesPerModule: 6, BuildersPerModule: 30,
+	ListsPerModule: 5, MapsPerModule: 2, ChainDepth: 3, ChainsPerModule: 2,
+	Statics: 1, NullFieldsPerModule: 1, RendersPerModule: 10, ParasPerDoc: 2,
+}
+
+// solveStages are the spans that make up "re-solving" the edited
+// program: diffing it against the base and running the warm-seeded (or
+// cold) pre-analysis. The downstream FPG/heap-modeling stages rebuild
+// the same way on both paths (the heap modeler has its own merge-reuse
+// shortcut) and are reported separately in the pipeline metrics.
+var solveStages = map[string]bool{
+	faultinject.StageDelta: true,
+	faultinject.StageSeed:  true,
+	faultinject.StageSolve: true,
+}
+
+func solveMS(tr *trace.Tracer) float64 {
+	var ns int64
+	for _, sp := range tr.Snapshot().Spans {
+		if sp.Parent < 0 && solveStages[sp.Stage] {
+			ns += sp.DurNS
+		}
+	}
+	return float64(ns) / 1e6
+}
+
+// BenchmarkIncrementalOneMethodEdit interleaves a cold from-scratch
+// abstraction build with a warm incremental rebuild of the same edited
+// program. The recorded headline is the re-solve time — diff plus
+// pre-analysis, the stages the incremental engine accelerates — cold
+// vs. warm; whole-pipeline wall times ride along for context.
+func BenchmarkIncrementalOneMethodEdit(b *testing.B) {
+	ctx := context.Background()
+	prog := synth.MustGenerate(incrementalProfile)
+	_, state, _, err := mahjong.BuildAbstractionDelta(ctx, prog, mahjong.AbstractionOptions{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42)) //nolint:gosec // deterministic benchmark edit
+	edited, desc, err := delta.RandomEdit(prog, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("edit: %s", desc)
+
+	var coldSolve, warmSolve float64
+	var coldWall, warmWall time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		coldTr := trace.New()
+		t0 := time.Now()
+		if _, err := mahjong.BuildAbstractionContext(ctx, edited, mahjong.AbstractionOptions{Trace: coldTr.Root()}); err != nil {
+			b.Fatal(err)
+		}
+		t1 := time.Now()
+		warmTr := trace.New()
+		_, _, out, err := mahjong.BuildAbstractionDelta(ctx, edited, mahjong.AbstractionOptions{Trace: warmTr.Root()}, state)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t2 := time.Now()
+		if !out.Used {
+			b.Fatalf("warm build fell back: %s", out.Fallback)
+		}
+		coldSolve += solveMS(coldTr)
+		warmSolve += solveMS(warmTr)
+		coldWall += t1.Sub(t0)
+		warmWall += t2.Sub(t1)
+	}
+	n := float64(b.N)
+	b.ReportMetric(coldSolve/n, "solve-cold-ms")
+	b.ReportMetric(warmSolve/n, "solve-warm-ms")
+	b.ReportMetric(coldSolve/warmSolve, "speedup")
+	b.ReportMetric(float64(coldWall.Nanoseconds())/n/1e6, "pipeline-cold-ms")
+	b.ReportMetric(float64(warmWall.Nanoseconds())/n/1e6, "pipeline-warm-ms")
+	b.ReportMetric(float64(coldWall)/float64(warmWall), "pipeline-speedup")
+}

@@ -14,6 +14,7 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
 	"fmt"
 	"runtime"
 	"sort"
@@ -68,6 +69,17 @@ type Options struct {
 	// "automata.equiv" child per merge worker, attributing merge pairs
 	// per worker. The zero Ctx disables tracing at no cost.
 	Trace trace.Ctx
+
+	// Reuse, when non-nil, replays the partition of every type group
+	// whose reachable sub-FPG fingerprint matches the captured base
+	// build, skipping its DFA construction and equivalence tests. The
+	// MOM is unaffected — a matching fingerprint implies the same merge
+	// decisions — but DFAStates/SumDFAStates then count only the
+	// re-merged groups.
+	Reuse *ReuseState
+	// CaptureReuse attaches a ReuseState to the Result for a later
+	// build's Options.Reuse.
+	CaptureReuse bool
 }
 
 // Result is the heap abstraction built by the modeler.
@@ -91,6 +103,12 @@ type Result struct {
 	// Duration is the wall-clock time of heap modeling (excluding the
 	// pre-analysis and FPG construction).
 	Duration time.Duration
+	// ReusedGroups and RemergedGroups split the type groups between
+	// those replayed from Options.Reuse and those merged from scratch
+	// (both zero when reuse is off).
+	ReusedGroups, RemergedGroups int
+	// ReuseState is the captured merge summary (Options.CaptureReuse).
+	ReuseState *ReuseState
 }
 
 // Class is one equivalence class of type-consistent objects.
@@ -164,12 +182,42 @@ func BuildContext(ctx context.Context, g *fpg.Graph, opts Options) (res *Result,
 		return groupList[i][0] < groupList[j][0]
 	})
 
+	// Merge reuse (see reuse.go): groups whose reachable sub-FPG
+	// fingerprint matches the captured base build skip both phases —
+	// their base partition is replayed into the union-find directly.
+	// Capture and matching share one reuser so fingerprints computed for
+	// matching are not hashed again at capture time.
+	uf := unionfind.New(len(g.Objs))
+	var rx *reuser
+	if opts.Reuse != nil || opts.CaptureReuse {
+		if rx = newReuser(g); !rx.ok {
+			rx = nil // no unique structural keys: disable reuse
+		}
+	}
+	fps := make(map[string][sha256.Size]byte)
+	mergeList := groupList
+	reusedGroups, remergedGroups := 0, 0
+	if opts.Reuse != nil && rx != nil {
+		mergeList = make([][]int, 0, len(groupList))
+		for _, nodes := range groupList {
+			tname := typeNameOf(g, nodes[0])
+			fp := rx.fingerprint(nodes)
+			fps[tname] = fp
+			if classes, ok := opts.Reuse.match(tname, fp); ok && rx.replay(uf, classes) {
+				reusedGroups++
+				continue
+			}
+			remergedGroups++
+			mergeList = append(mergeList, nodes)
+		}
+	}
+
 	// Phase 1 (sequential): run SINGLETYPE-CHECK and build all DFAs in
 	// the shared universe, so that phase 2 reads it without locks
 	// ("all shared automata are constructed beforehand", §5).
 	pass := make([]bool, len(g.Objs))
 	sumStates := 0
-	for _, nodes := range groupList {
+	for _, nodes := range mergeList {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: heap modeling interrupted: %w", err)
 		}
@@ -204,7 +252,6 @@ func BuildContext(ctx context.Context, g *fpg.Graph, opts Options) (res *Result,
 			cancelMerge()
 		})
 	}
-	uf := unionfind.New(len(g.Objs))
 	mergeGroup := func(nodes []int, pairs *int64) {
 		var reps []int
 		for _, n := range nodes {
@@ -250,11 +297,11 @@ func BuildContext(ctx context.Context, g *fpg.Graph, opts Options) (res *Result,
 	// sum to the parent's merge_pairs total. The sequential path is
 	// worker 0, so traced runs always see at least one worker span.
 	var totalPairs int64
-	if workers == 1 || len(groupList) < 2 {
+	if workers == 1 || len(mergeList) < 2 {
 		wsp := sp.Ctx().Start(faultinject.StageEquiv)
 		wsp.Worker(0)
 		var pairs int64
-		for _, nodes := range groupList {
+		for _, nodes := range mergeList {
 			runGroup(nodes, wsp, &pairs)
 		}
 		wsp.Add("merge_pairs", pairs)
@@ -279,7 +326,7 @@ func BuildContext(ctx context.Context, g *fpg.Graph, opts Options) (res *Result,
 				pairsTotal.Add(pairs)
 			}(w)
 		}
-		for _, nodes := range groupList {
+		for _, nodes := range mergeList {
 			work <- nodes
 		}
 		close(work)
@@ -299,6 +346,11 @@ func BuildContext(ctx context.Context, g *fpg.Graph, opts Options) (res *Result,
 	res = buildResult(g, uf, opts.Policy)
 	res.DFAStates = u.NumStates()
 	res.SumDFAStates = sumStates
+	res.ReusedGroups = reusedGroups
+	res.RemergedGroups = remergedGroups
+	if opts.CaptureReuse && rx != nil {
+		res.ReuseState = captureReuse(rx, groupList, uf, fps)
+	}
 	res.Duration = time.Since(start)
 	sp.Add("objects", int64(res.NumObjects))
 	sp.Add("merged_objects", int64(res.NumMerged))
@@ -306,6 +358,8 @@ func BuildContext(ctx context.Context, g *fpg.Graph, opts Options) (res *Result,
 	sp.Add("dfa_states", int64(res.DFAStates))
 	sp.Add("sum_dfa_states", int64(res.SumDFAStates))
 	sp.Add("merge_pairs", totalPairs)
+	sp.Add("reused_groups", int64(res.ReusedGroups))
+	sp.Add("remerged_groups", int64(res.RemergedGroups))
 	return res, nil
 }
 

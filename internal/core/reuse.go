@@ -1,0 +1,310 @@
+// Merge reuse: the incremental half of the heap modeler.
+//
+// Algorithm 1 partitions each type group of the FPG independently, and
+// the partition of a group is a pure function of the sub-FPG reachable
+// from its members (types plus field-labeled edges — exactly what the
+// sequential automata read). After an edit, most groups' reachable
+// sub-graphs are unchanged, so their equivalence tests — the expensive
+// part of heap modeling — would reproduce the base partition verbatim.
+//
+// This file fingerprints each group's reachable sub-FPG under
+// *structural* keys that survive re-parsing: allocation sites are named
+// "Owner.method/arity#ordinal" (ordinal of the alloc within its method
+// body), fields "Owner.name", types by class name. A captured ReuseState
+// maps type name → (fingerprint, partition); a later build replays the
+// partition of every group whose fingerprint still matches and runs
+// Algorithm 1 only on the rest.
+package core
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"hash"
+	"io"
+	"sort"
+	"strings"
+
+	"mahjong/internal/fpg"
+	"mahjong/internal/lang"
+	"mahjong/internal/unionfind"
+)
+
+// ReuseState is the portable summary of one build's merge decisions,
+// captured with Options.CaptureReuse and consumed by Options.Reuse on a
+// later build of an edited program.
+type ReuseState struct {
+	groups map[string]reuseGroup // type name → fingerprint + partition
+}
+
+type reuseGroup struct {
+	fingerprint [sha256.Size]byte
+	// classes is the group's partition as sorted structural site keys;
+	// singleton classes are omitted (replaying them is a no-op).
+	classes [][]string
+}
+
+// Groups returns the number of type groups captured.
+func (s *ReuseState) Groups() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.groups)
+}
+
+// match returns the captured partition for a type whose fingerprint
+// still matches.
+func (s *ReuseState) match(typeName string, fp [sha256.Size]byte) ([][]string, bool) {
+	if s == nil {
+		return nil, false
+	}
+	g, ok := s.groups[typeName]
+	if !ok || g.fingerprint != fp {
+		return nil, false
+	}
+	return g.classes, true
+}
+
+// reuser assigns structural keys to the nodes of one FPG and
+// fingerprints type groups. ok goes false when any node lacks a unique
+// structural key (a synthetic or cross-program heap model); reuse is
+// then disabled rather than risking a misattributed replay.
+type reuser struct {
+	g      *fpg.Graph
+	keys   []string       // node ID → structural site key
+	nodeOf map[string]int // inverse, for replay
+	ok     bool
+
+	// digests caches each node's content hash (key, type, rendered
+	// edges). Groups overlap heavily in their reachable sub-FPGs — every
+	// group that stores into a shared runtime structure reaches the same
+	// String/char[] cluster — so each node is rendered once, ever, and a
+	// group fingerprint just folds the cached digests of its reachable
+	// set.
+	digests  [][sha256.Size]byte
+	digested []bool
+	// visitedAt is an epoch-marked scratch buffer for the per-group
+	// reachability sweep (no per-group map allocation).
+	visitedAt []int
+	epoch     int
+}
+
+const nullKey = "~null"
+
+func newReuser(g *fpg.Graph) *reuser {
+	r := &reuser{
+		g:         g,
+		keys:      make([]string, len(g.Objs)),
+		nodeOf:    make(map[string]int, len(g.Objs)),
+		ok:        true,
+		digests:   make([][sha256.Size]byte, len(g.Objs)),
+		digested:  make([]bool, len(g.Objs)),
+		visitedAt: make([]int, len(g.Objs)),
+	}
+	r.keys[fpg.NullNode] = nullKey
+	r.nodeOf[nullKey] = fpg.NullNode
+	ordinals := make(map[*lang.Method]map[*lang.AllocSite]int)
+	for id := 1; id < len(g.Objs); id++ {
+		key := siteKey(g.Objs[id].Rep, ordinals)
+		if key == "" {
+			r.ok = false
+			return r
+		}
+		if _, dup := r.nodeOf[key]; dup {
+			r.ok = false
+			return r
+		}
+		r.keys[id] = key
+		r.nodeOf[key] = id
+	}
+	return r
+}
+
+// siteKey names an allocation site by its method and the ordinal of the
+// alloc within the method body — stable across re-parsing, unlike
+// AllocSite.ID/Label, which embed a program-wide counter that shifts
+// when any earlier method's allocation count changes.
+func siteKey(site *lang.AllocSite, ordinals map[*lang.Method]map[*lang.AllocSite]int) string {
+	if site == nil || site.Method == nil {
+		return ""
+	}
+	m := site.Method
+	idx, ok := ordinals[m]
+	if !ok {
+		idx = make(map[*lang.AllocSite]int)
+		n := 0
+		for _, st := range m.Stmts {
+			if a, isAlloc := st.(*lang.Alloc); isAlloc {
+				idx[a.Site] = n
+				n++
+			}
+		}
+		ordinals[m] = idx
+	}
+	ord, ok := idx[site]
+	if !ok {
+		return ""
+	}
+	return fmt.Sprintf("%s#%d", m, ord)
+}
+
+// fingerprint hashes the sub-FPG reachable from the group's members —
+// the exact input of SINGLETYPE-CHECK and the automata equivalence
+// tests — under structural keys, so equal fingerprints across programs
+// imply equal merge decisions. One multi-root sweep collects the
+// reachable set; node contents fold in as cached per-node digests.
+func (r *reuser) fingerprint(nodes []int) [sha256.Size]byte {
+	h := sha256.New()
+	members := make([]string, len(nodes))
+	for i, n := range nodes {
+		members[i] = r.keys[n]
+	}
+	sort.Strings(members)
+	for _, k := range members {
+		fmt.Fprintf(h, "member %s\n", k)
+	}
+
+	r.epoch++
+	var reach, stack []int
+	for _, n := range nodes {
+		if r.visitedAt[n] != r.epoch {
+			r.visitedAt[n] = r.epoch
+			stack = append(stack, n)
+			reach = append(reach, n)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range r.g.Out[n] {
+			for _, t := range e.Targets {
+				if r.visitedAt[t] != r.epoch {
+					r.visitedAt[t] = r.epoch
+					stack = append(stack, t)
+					reach = append(reach, t)
+				}
+			}
+		}
+	}
+	sort.Slice(reach, func(i, j int) bool { return r.keys[reach[i]] < r.keys[reach[j]] })
+	for _, n := range reach {
+		d := r.nodeDigest(n)
+		h.Write(d[:])
+	}
+	var fp [sha256.Size]byte
+	h.Sum(fp[:0])
+	return fp
+}
+
+// nodeDigest returns the cached content hash of one node: its key, its
+// type, and its rendered out-edges.
+func (r *reuser) nodeDigest(n int) [sha256.Size]byte {
+	if !r.digested[n] {
+		h := sha256.New()
+		r.hashNode(h, n)
+		h.Sum(r.digests[n][:0])
+		r.digested[n] = true
+	}
+	return r.digests[n]
+}
+
+func (r *reuser) hashNode(h hash.Hash, n int) {
+	typeName := ""
+	if t := r.g.Types[r.g.TypeOf[n]]; t != nil {
+		typeName = t.Name
+	}
+	fmt.Fprintf(h, "node %s : %s\n", r.keys[n], typeName)
+	if n == fpg.NullNode {
+		return // implicit self-loops, identical in every graph
+	}
+	// Out is sorted by field ID — an interning order — so re-sort the
+	// rendered edge lines by field name for cross-program stability.
+	lines := make([]string, 0, len(r.g.Out[n]))
+	var sb strings.Builder
+	for _, e := range r.g.Out[n] {
+		f := r.g.Fields[e.Field]
+		tgts := make([]string, len(e.Targets))
+		for i, t := range e.Targets {
+			tgts[i] = r.keys[t]
+		}
+		sort.Strings(tgts)
+		sb.Reset()
+		sb.WriteString("edge ")
+		sb.WriteString(f.Owner.Name)
+		sb.WriteByte('.')
+		sb.WriteString(f.Name)
+		sb.WriteString(" ->")
+		for _, t := range tgts {
+			sb.WriteByte(' ')
+			sb.WriteString(t)
+		}
+		lines = append(lines, sb.String())
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		io.WriteString(h, l)
+		io.WriteString(h, "\n")
+	}
+}
+
+// replay re-applies a captured partition to the union-find forest. It
+// reports false — demoting the group to a normal merge — if any member
+// key fails to resolve, which a matching fingerprint makes unreachable
+// barring hash collisions.
+func (r *reuser) replay(uf *unionfind.Forest, classes [][]string) bool {
+	for _, cls := range classes {
+		for _, key := range cls {
+			if _, ok := r.nodeOf[key]; !ok {
+				return false
+			}
+		}
+	}
+	for _, cls := range classes {
+		first := r.nodeOf[cls[0]]
+		for _, key := range cls[1:] {
+			uf.Union(first, r.nodeOf[key])
+		}
+	}
+	return true
+}
+
+// typeNameOf names the type group containing node.
+func typeNameOf(g *fpg.Graph, node int) string {
+	if t := g.Types[g.TypeOf[node]]; t != nil {
+		return t.Name
+	}
+	return ""
+}
+
+// captureReuse snapshots the finished partition, group by group, for a
+// later build to replay. fps carries fingerprints already computed
+// during this build's reuse matching so they are not hashed twice.
+func captureReuse(rx *reuser, groupList [][]int, uf *unionfind.Forest, fps map[string][sha256.Size]byte) *ReuseState {
+	st := &ReuseState{groups: make(map[string]reuseGroup, len(groupList))}
+	for _, nodes := range groupList {
+		tname := typeNameOf(rx.g, nodes[0])
+		fp, ok := fps[tname]
+		if !ok {
+			fp = rx.fingerprint(nodes)
+		}
+		byRoot := make(map[int][]string)
+		for _, n := range nodes {
+			root := uf.Find(n)
+			byRoot[root] = append(byRoot[root], rx.keys[n])
+		}
+		roots := make([]int, 0, len(byRoot))
+		for root, keys := range byRoot {
+			if len(keys) > 1 {
+				roots = append(roots, root)
+			}
+		}
+		sort.Ints(roots)
+		var classes [][]string
+		for _, root := range roots {
+			keys := byRoot[root]
+			sort.Strings(keys)
+			classes = append(classes, keys)
+		}
+		st.groups[tname] = reuseGroup{fingerprint: fp, classes: classes}
+	}
+	return st
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+
+	"mahjong/internal/delta"
+	"mahjong/internal/fpg"
+	"mahjong/internal/lang"
+	"mahjong/internal/pta"
+	"mahjong/internal/synth"
+)
+
+// reuseFPG runs the pre-analysis pipeline up to the FPG.
+func reuseFPG(t *testing.T, p *lang.Program) *fpg.Graph {
+	t.Helper()
+	pre, err := pta.Solve(p, pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fpg.Build(pre, fpg.Options{})
+}
+
+// synthProgram generates a named synthetic benchmark subject.
+func synthProgram(t *testing.T, name string) *lang.Program {
+	t.Helper()
+	prof, err := synth.ProfileByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := synth.Generate(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// mergeGroupCount counts the type groups Algorithm 1 would process
+// (types with at least two objects).
+func mergeGroupCount(g *fpg.Graph) int {
+	byType := make(map[int]int)
+	for id := 1; id < len(g.Objs); id++ {
+		byType[g.TypeOf[id]]++
+	}
+	n := 0
+	for _, c := range byType {
+		if c > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+func sameMOM(t *testing.T, tag string, a, b *Result) {
+	t.Helper()
+	if len(a.MOM) != len(b.MOM) {
+		t.Fatalf("%s: MOM sizes differ: %d vs %d", tag, len(a.MOM), len(b.MOM))
+	}
+	for site, rep := range a.MOM {
+		if b.MOM[site] != rep {
+			t.Fatalf("%s: MOM[%s] = %s vs %s", tag, site, rep, b.MOM[site])
+		}
+	}
+	if a.NumMerged != b.NumMerged || len(a.Classes) != len(b.Classes) {
+		t.Fatalf("%s: merged=%d/%d classes=%d/%d", tag, a.NumMerged, b.NumMerged, len(a.Classes), len(b.Classes))
+	}
+}
+
+// TestReuseIdentity: when nothing changed, every group's fingerprint
+// matches, the whole partition is replayed, and not a single DFA is
+// built — with a MOM identical to a from-scratch merge of the same
+// graph.
+func TestReuseIdentity(t *testing.T) {
+	prog := synthProgram(t, "luindex")
+	g := reuseFPG(t, prog)
+	base := Build(g, Options{CaptureReuse: true})
+	if base.ReuseState.Groups() == 0 {
+		t.Fatal("no reuse state captured")
+	}
+
+	next, err := delta.Rewrite(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := reuseFPG(t, next)
+	warm := Build(g2, Options{Reuse: base.ReuseState})
+	cold := Build(g2, Options{})
+
+	groups := mergeGroupCount(g2)
+	if warm.ReusedGroups != groups || warm.RemergedGroups != 0 {
+		t.Fatalf("reused=%d remerged=%d, want %d/0", warm.ReusedGroups, warm.RemergedGroups, groups)
+	}
+	if warm.DFAStates != 0 {
+		t.Fatalf("full reuse still built %d DFA states", warm.DFAStates)
+	}
+	sameMOM(t, "identity", warm, cold)
+}
+
+// TestReuseAfterAllocEdit: inserting an allocation invalidates the
+// fingerprints of the groups its object disturbs — those re-merge — but
+// the replayed-plus-remerged result must be exactly the from-scratch
+// MOM, and untouched groups must still be replayed.
+func TestReuseAfterAllocEdit(t *testing.T) {
+	prog := synthProgram(t, "luindex")
+	g := reuseFPG(t, prog)
+	base := Build(g, Options{CaptureReuse: true})
+
+	// Insert one alloc at the top of a concrete non-entry method.
+	var target *lang.Method
+	for _, c := range prog.Classes {
+		for _, m := range c.DeclaredMethods {
+			if !m.IsAbstract && m != prog.Entry && m.This != nil && !m.This.Type.IsInterface && !m.This.Type.IsArray() {
+				target = m
+				break
+			}
+		}
+		if target != nil {
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("no editable method")
+	}
+	next, err := delta.Rewrite(prog, func(m *lang.Method, stmts []lang.Stmt) []lang.Stmt {
+		if m != target {
+			return stmts
+		}
+		alloc := &lang.Alloc{LHS: m.This, Site: &lang.AllocSite{Type: m.This.Type, Method: m}}
+		return append([]lang.Stmt{alloc}, stmts...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := reuseFPG(t, next)
+	warm := Build(g2, Options{Reuse: base.ReuseState})
+	cold := Build(g2, Options{})
+
+	if warm.ReusedGroups+warm.RemergedGroups != mergeGroupCount(g2) {
+		t.Fatalf("reused=%d remerged=%d, want sum %d",
+			warm.ReusedGroups, warm.RemergedGroups, mergeGroupCount(g2))
+	}
+	if warm.ReusedGroups == 0 {
+		t.Fatal("one-alloc edit reused nothing")
+	}
+	sameMOM(t, "alloc edit", warm, cold)
+	t.Logf("groups: %d reused, %d remerged", warm.ReusedGroups, warm.RemergedGroups)
+}
+
+// TestReuseChained: capture can ride on a reusing build, so delta jobs
+// chain warm-to-warm.
+func TestReuseChained(t *testing.T) {
+	prog := synth.RandomProgram(9)
+	g := reuseFPG(t, prog)
+	base := Build(g, Options{CaptureReuse: true})
+
+	cur := prog
+	state := base.ReuseState
+	for step := 0; step < 3; step++ {
+		next, err := delta.Rewrite(cur, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2 := reuseFPG(t, next)
+		warm := Build(g2, Options{Reuse: state, CaptureReuse: true})
+		cold := Build(g2, Options{})
+		sameMOM(t, "chained", warm, cold)
+		if warm.RemergedGroups != 0 {
+			t.Fatalf("step %d: identity chain remerged %d groups", step, warm.RemergedGroups)
+		}
+		if warm.ReuseState.Groups() != state.Groups() {
+			t.Fatalf("step %d: captured %d groups, had %d", step, warm.ReuseState.Groups(), state.Groups())
+		}
+		cur, state = next, warm.ReuseState
+	}
+}

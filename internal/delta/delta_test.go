@@ -1,0 +1,191 @@
+// External test package so the tests can drive internal/pta (which
+// imports delta) without an import cycle.
+package delta_test
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mahjong/internal/delta"
+	"mahjong/internal/faultinject"
+	"mahjong/internal/lang"
+	"mahjong/internal/pta"
+	"mahjong/internal/synth"
+	"mahjong/internal/trace"
+)
+
+// TestRewriteIdentity: a nil-edit Rewrite is a deep copy that hashes
+// unit-for-unit equal to its source and diffs as "no change".
+func TestRewriteIdentity(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		prog := synth.RandomProgram(seed)
+		copyProg, err := delta.Rewrite(prog, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		d, err := delta.Compute(prog, copyProg, delta.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !d.BodyOnly {
+			t.Fatalf("seed %d: identity rewrite not body-only: %s", seed, d.Reason)
+		}
+		if len(d.Changed) != 0 {
+			t.Fatalf("seed %d: identity rewrite changed %d methods, first %s", seed, len(d.Changed), d.Changed[0])
+		}
+		if d.TotalMethods == 0 || len(d.Vars) == 0 || len(d.Sites) == 0 {
+			t.Fatalf("seed %d: translation maps empty: methods=%d vars=%d sites=%d",
+				seed, d.TotalMethods, len(d.Vars), len(d.Sites))
+		}
+		// Every translated pair must agree on name/position semantics.
+		for bv, nv := range d.Vars {
+			if bv.Name != nv.Name || bv.Type.Name != nv.Type.Name {
+				t.Fatalf("seed %d: var %s:%s mapped to %s:%s", seed, bv.Name, bv.Type.Name, nv.Name, nv.Type.Name)
+			}
+		}
+		for bs, ns := range d.Sites {
+			if bs.Type.Name != ns.Type.Name {
+				t.Fatalf("seed %d: site of %s mapped to %s", seed, bs.Type.Name, ns.Type.Name)
+			}
+		}
+	}
+}
+
+// TestDiffAfterBaseSolve is the $exc regression: analyzing the base
+// program creates lazy "$exc" locals a fresh copy does not have, and
+// the diff must not mistake that for an edit.
+func TestDiffAfterBaseSolve(t *testing.T) {
+	prog := synth.RandomProgram(2)
+	if _, err := pta.Solve(prog, pta.Options{}); err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	copyProg, err := delta.Rewrite(prog, nil)
+	if err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	d, err := delta.Compute(prog, copyProg, delta.Options{})
+	if err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+	if !d.BodyOnly || len(d.Changed) != 0 {
+		t.Fatalf("solved base diffs against its own copy: BodyOnly=%v changed=%v", d.BodyOnly, d.Changed)
+	}
+}
+
+// TestComputeDetectsShapeChanges: structural edits must demote the diff
+// to from-scratch with a reason; a body edit must mark exactly the
+// edited method.
+func TestComputeDetectsShapeChanges(t *testing.T) {
+	prog := synth.RandomProgram(4)
+
+	t.Run("class added", func(t *testing.T) {
+		next, err := delta.Rewrite(prog, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next.NewClass("Extra", nil)
+		d, err := delta.Compute(prog, next, delta.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.BodyOnly || !strings.Contains(d.Reason, "class count") {
+			t.Fatalf("BodyOnly=%v Reason=%q", d.BodyOnly, d.Reason)
+		}
+		// Not body-only: every method counts as changed.
+		if !d.MethodChanged(prog.Entry) {
+			t.Fatal("MethodChanged must be universally true on shape change")
+		}
+	})
+
+	t.Run("field added", func(t *testing.T) {
+		next, err := delta.Rewrite(prog, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var target *lang.Class
+		for _, c := range next.Classes {
+			if !c.IsArray() && !c.IsInterface && c != next.Object() {
+				target = c
+				break
+			}
+		}
+		target.NewField("sneakyExtra", next.Object())
+		d, err := delta.Compute(prog, next, delta.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.BodyOnly || !strings.Contains(d.Reason, "shape changed") {
+			t.Fatalf("BodyOnly=%v Reason=%q", d.BodyOnly, d.Reason)
+		}
+	})
+
+	t.Run("body edited", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(11)) //nolint:gosec // deterministic test
+		next, desc, err := delta.RandomEdit(prog, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := delta.Compute(prog, next, delta.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.BodyOnly {
+			t.Fatalf("edit %q not body-only: %s", desc, d.Reason)
+		}
+		if len(d.Changed) > 1 {
+			t.Fatalf("edit %q changed %d methods", desc, len(d.Changed))
+		}
+		for _, m := range d.Changed {
+			if !d.MethodChanged(m) {
+				t.Fatalf("changed method %s not reported by MethodChanged", m)
+			}
+			// Changed methods carry variable translations only when
+			// the edit was recognized as additive (grown-body match).
+			for bv := range d.Vars {
+				if bv.Method == m && !d.Additive {
+					t.Fatalf("changed method %s has translated var %s", m, bv.Name)
+				}
+			}
+		}
+	})
+}
+
+// TestComputeFaultInjection: the delta.diff seam must surface injected
+// errors and panics as plain errors (callers fall back to cold solves),
+// and record a span either way.
+func TestComputeFaultInjection(t *testing.T) {
+	defer faultinject.Clear()
+	prog := synth.RandomProgram(1)
+	next, err := delta.Rewrite(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Set(faultinject.OnStage(faultinject.StageDelta, faultinject.Fail(errors.New("boom"))))
+	if _, err := delta.Compute(prog, next, delta.Options{}); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("injected error not surfaced: %v", err)
+	}
+
+	faultinject.Set(faultinject.OnStage(faultinject.StageDelta, faultinject.PanicWith("delta bug")))
+	if _, err := delta.Compute(prog, next, delta.Options{}); err == nil || !strings.Contains(err.Error(), "delta.diff") {
+		t.Fatalf("injected panic not recovered as stage error: %v", err)
+	}
+	faultinject.Clear()
+
+	tr := trace.New()
+	if _, err := delta.Compute(prog, next, delta.Options{Trace: tr.Root()}); err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.Snapshot().Spans
+	found := false
+	for _, sp := range spans {
+		if sp.Stage == faultinject.StageDelta {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no %s span recorded (got %d spans)", faultinject.StageDelta, len(spans))
+	}
+}

@@ -1,0 +1,378 @@
+package delta
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mahjong/internal/lang"
+)
+
+// EditFn transforms one method's statement list during Rewrite. It
+// receives the ORIGINAL method and its original statements and returns
+// the list the copy should carry. Returned statements may be originals,
+// duplicates, or freshly constructed values referencing the original
+// program's vars/fields/classes/methods — Rewrite translates everything
+// into the copy. Returning the input unchanged copies the body as-is.
+type EditFn func(m *lang.Method, stmts []lang.Stmt) []lang.Stmt
+
+// Rewrite deep-copies p through the lang builder API, applying edit
+// (nil = identity) to each method body. It is the edit machinery behind
+// the randomized incremental-vs-cold equivalence sweeps: the copy
+// shares no pointers with p, so base and next behave exactly like two
+// independently parsed programs.
+func Rewrite(p *lang.Program, edit EditFn) (*lang.Program, error) {
+	q := lang.NewProgram()
+	rw := &rewriter{
+		p: p, q: q,
+		classes: map[*lang.Class]*lang.Class{p.Object(): q.Object()},
+		methods: map[*lang.Method]*lang.Method{},
+		fields:  map[*lang.Field]*lang.Field{},
+	}
+
+	// Pass 1: classes and interfaces in creation order (supers and
+	// extended interfaces precede their users in p.Classes). Array
+	// classes are skipped; trClass recreates them on demand.
+	for _, c := range p.Classes {
+		if c == p.Object() || c.IsArray() {
+			continue
+		}
+		var ifaces []*lang.Class
+		for _, it := range c.Interfaces {
+			ifaces = append(ifaces, rw.trClass(it))
+		}
+		if c.IsInterface {
+			rw.classes[c] = q.NewInterface(c.Name, ifaces...)
+		} else {
+			var super *lang.Class
+			if c.Super != nil && c.Super != p.Object() {
+				super = rw.trClass(c.Super)
+			}
+			rw.classes[c] = q.NewClass(c.Name, super, ifaces...)
+		}
+	}
+
+	// Pass 2: fields and method signatures.
+	for _, c := range p.Classes {
+		if c == p.Object() || c.IsArray() {
+			continue
+		}
+		nc := rw.classes[c]
+		for _, f := range c.DeclaredFields {
+			if f.IsStatic {
+				rw.fields[f] = nc.NewStaticField(f.Name, rw.trClass(f.Type))
+			} else {
+				rw.fields[f] = nc.NewField(f.Name, rw.trClass(f.Type))
+			}
+		}
+		for _, m := range c.DeclaredMethods {
+			var params []*lang.Class
+			for _, pv := range m.Params {
+				params = append(params, rw.trClass(pv.Type))
+			}
+			var ret *lang.Class
+			if m.Ret != nil {
+				ret = rw.trClass(m.Ret)
+			}
+			var nm *lang.Method
+			if m.IsAbstract {
+				nm = nc.NewAbstractMethod(m.Name, params, ret)
+			} else {
+				nm = nc.NewMethod(m.Name, m.IsStatic, params, ret)
+			}
+			for i, pv := range m.Params {
+				nm.Params[i].Name = pv.Name
+			}
+			rw.methods[m] = nm
+		}
+	}
+
+	// Pass 3: bodies, through the (possibly editing) statement copier.
+	for _, c := range p.Classes {
+		if c == p.Object() || c.IsArray() {
+			continue
+		}
+		for _, m := range c.DeclaredMethods {
+			if m.IsAbstract {
+				continue
+			}
+			if err := rw.copyBody(m, edit); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if p.Entry != nil {
+		q.SetEntry(rw.methods[p.Entry])
+	}
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("delta: rewritten program invalid: %w", err)
+	}
+	return q, nil
+}
+
+type rewriter struct {
+	p, q    *lang.Program
+	classes map[*lang.Class]*lang.Class
+	methods map[*lang.Method]*lang.Method
+	fields  map[*lang.Field]*lang.Field
+}
+
+func (rw *rewriter) trClass(c *lang.Class) *lang.Class {
+	if nc, ok := rw.classes[c]; ok {
+		return nc
+	}
+	if c.IsArray() {
+		nc := rw.q.ArrayOf(rw.trClass(c.Elem))
+		rw.classes[c] = nc
+		return nc
+	}
+	panic(fmt.Sprintf("delta: class %s referenced before declaration", c.Name))
+}
+
+func (rw *rewriter) trField(f *lang.Field) *lang.Field {
+	if nf, ok := rw.fields[f]; ok {
+		return nf
+	}
+	// Array element pseudo-fields are created with their array class.
+	nf := rw.trClass(f.Owner).Field(f.Name)
+	if nf == nil {
+		panic(fmt.Sprintf("delta: field %s not translatable", f))
+	}
+	rw.fields[f] = nf
+	return nf
+}
+
+// copyBody copies m's declared locals and (edited) statements into its
+// already-created counterpart.
+func (rw *rewriter) copyBody(m *lang.Method, edit EditFn) error {
+	nm := rw.methods[m]
+	vars := map[*lang.Var]*lang.Var{}
+	if m.This != nil {
+		vars[m.This] = nm.This
+	}
+	for i, pv := range m.Params {
+		vars[pv] = nm.Params[i]
+	}
+	if m.RetVar != nil {
+		vars[m.RetVar] = nm.RetVar
+	}
+	trVar := func(v *lang.Var) *lang.Var {
+		if v == nil {
+			return nil
+		}
+		if nv, ok := vars[v]; ok {
+			return nv
+		}
+		if v.Name == "$exc" {
+			nv := nm.ExcVar()
+			vars[v] = nv
+			return nv
+		}
+		nv := nm.NewVar(v.Name, rw.trClass(v.Type))
+		vars[v] = nv
+		return nv
+	}
+	// Declare locals up-front in source order so body-identical methods
+	// get positionally identical Locals.
+	for _, v := range m.Locals {
+		if v == m.This || v == m.RetVar || v.Name == "$exc" {
+			continue
+		}
+		if isParam(m, v) {
+			continue
+		}
+		trVar(v)
+	}
+
+	stmts := m.Stmts
+	if edit != nil {
+		stmts = edit(m, stmts)
+	}
+	for _, st := range stmts {
+		if err := rw.copyStmt(nm, trVar, st); err != nil {
+			return fmt.Errorf("delta: rewrite %s: %w", m, err)
+		}
+	}
+	return nil
+}
+
+func isParam(m *lang.Method, v *lang.Var) bool {
+	for _, pv := range m.Params {
+		if pv == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (rw *rewriter) copyStmt(nm *lang.Method, trVar func(*lang.Var) *lang.Var, st lang.Stmt) error {
+	switch s := st.(type) {
+	case *lang.Alloc:
+		nm.AddAlloc(trVar(s.LHS), rw.trClass(s.Site.Type))
+	case *lang.Copy:
+		nm.AddCopy(trVar(s.LHS), trVar(s.RHS))
+	case *lang.Load:
+		nm.AddLoad(trVar(s.LHS), trVar(s.Base), rw.trField(s.Field))
+	case *lang.Store:
+		nm.AddStore(trVar(s.Base), rw.trField(s.Field), trVar(s.RHS))
+	case *lang.StaticLoad:
+		nm.AddStaticLoad(trVar(s.LHS), rw.trField(s.Field))
+	case *lang.StaticStore:
+		nm.AddStaticStore(rw.trField(s.Field), trVar(s.RHS))
+	case *lang.Cast:
+		nm.AddCast(trVar(s.LHS), rw.trClass(s.Type), trVar(s.RHS))
+	case *lang.Invoke:
+		args := make([]*lang.Var, len(s.Args))
+		for i, a := range s.Args {
+			args[i] = trVar(a)
+		}
+		switch s.Kind {
+		case lang.VirtualCall:
+			nm.AddVirtualCall(trVar(s.LHS), trVar(s.Base), s.Callee.Name, args...)
+		case lang.StaticCall:
+			nm.AddStaticCall(trVar(s.LHS), rw.methods[s.Callee], args...)
+		case lang.SpecialCall:
+			nm.AddSpecialCall(trVar(s.LHS), trVar(s.Base), rw.methods[s.Callee], args...)
+		}
+	case *lang.Return:
+		nm.AddReturn(trVar(s.Value))
+	case *lang.Throw:
+		nm.AddThrow(trVar(s.Value))
+	case *lang.Catch:
+		nm.AddCatch(trVar(s.LHS), rw.trClass(s.Type))
+	default:
+		return fmt.Errorf("unknown statement %T", st)
+	}
+	return nil
+}
+
+// RandomEdit applies one random, validity-preserving, body-only edit to
+// a random concrete method of p and returns the edited copy plus a
+// description of the edit. The edit vocabulary — drop a statement,
+// duplicate one, swap two adjacent ones, insert an allocation or a copy
+// — keeps class shapes intact, so every chain of RandomEdits stays
+// eligible for incremental replay.
+func RandomEdit(p *lang.Program, rng *rand.Rand) (*lang.Program, string, error) {
+	var candidates []*lang.Method
+	for _, c := range p.Classes {
+		for _, m := range c.DeclaredMethods {
+			if !m.IsAbstract {
+				candidates = append(candidates, m)
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, "", fmt.Errorf("delta: no concrete methods to edit")
+	}
+	target := candidates[rng.Intn(len(candidates))]
+	op, desc := randomBodyEdit(target, rng)
+	edited, err := Rewrite(p, func(m *lang.Method, stmts []lang.Stmt) []lang.Stmt {
+		if m != target {
+			return stmts
+		}
+		return op(stmts)
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	return edited, fmt.Sprintf("%s in %s", desc, target), nil
+}
+
+// randomBodyEdit picks an edit applicable to m; the self-copy insertion
+// is the universal fallback (always valid, always changes the body
+// text).
+func randomBodyEdit(m *lang.Method, rng *rand.Rand) (func([]lang.Stmt) []lang.Stmt, string) {
+	editable := func(st lang.Stmt) bool {
+		switch st.(type) {
+		case *lang.Return, *lang.Throw:
+			return false
+		}
+		return true
+	}
+	editableIdx := func(stmts []lang.Stmt) []int {
+		var idx []int
+		for i, st := range stmts {
+			if editable(st) {
+				idx = append(idx, i)
+			}
+		}
+		return idx
+	}
+	switch rng.Intn(4) {
+	case 0: // drop a random droppable statement
+		return func(stmts []lang.Stmt) []lang.Stmt {
+			idx := editableIdx(stmts)
+			if len(idx) == 0 {
+				return stmts
+			}
+			i := idx[rng.Intn(len(idx))]
+			out := append([]lang.Stmt{}, stmts[:i]...)
+			return append(out, stmts[i+1:]...)
+		}, "drop statement"
+	case 1: // duplicate a random statement
+		return func(stmts []lang.Stmt) []lang.Stmt {
+			idx := editableIdx(stmts)
+			if len(idx) == 0 {
+				return stmts
+			}
+			i := idx[rng.Intn(len(idx))]
+			out := append([]lang.Stmt{}, stmts[:i+1]...)
+			out = append(out, stmts[i])
+			return append(out, stmts[i+1:]...)
+		}, "duplicate statement"
+	case 2: // swap two adjacent statements
+		return func(stmts []lang.Stmt) []lang.Stmt {
+			idx := editableIdx(stmts)
+			for _, i := range rng.Perm(len(idx)) {
+				j := idx[i]
+				if j+1 < len(stmts) && editable(stmts[j+1]) {
+					out := append([]lang.Stmt{}, stmts...)
+					out[j], out[j+1] = out[j+1], out[j]
+					return out
+				}
+			}
+			return stmts
+		}, "swap adjacent statements"
+	default: // insert an allocation into a random var, or a self-copy
+		if v := randomAllocatable(m, rng); v != nil {
+			if typ := concreteAllocType(v); typ != nil {
+				ins := &lang.Alloc{LHS: v, Site: &lang.AllocSite{Type: typ, Method: m}}
+				return func(stmts []lang.Stmt) []lang.Stmt {
+					return append([]lang.Stmt{ins}, stmts...)
+				}, fmt.Sprintf("insert alloc %s = new %s", v.Name, typ.Name)
+			}
+			return func(stmts []lang.Stmt) []lang.Stmt {
+				return append([]lang.Stmt{&lang.Copy{LHS: v, RHS: v}}, stmts...)
+			}, fmt.Sprintf("insert self-copy of %s", v.Name)
+		}
+		return func(stmts []lang.Stmt) []lang.Stmt { return stmts }, "no-op"
+	}
+}
+
+// randomAllocatable picks a non-synthetic variable of m (nil if none).
+func randomAllocatable(m *lang.Method, rng *rand.Rand) *lang.Var {
+	var vs []*lang.Var
+	for _, v := range m.Locals {
+		if v == m.This || v == m.RetVar || v.Name == "$exc" || isParam(m, v) {
+			continue
+		}
+		vs = append(vs, v)
+	}
+	if len(vs) == 0 {
+		if m.RetVar != nil {
+			return m.RetVar
+		}
+		return nil
+	}
+	return vs[rng.Intn(len(vs))]
+}
+
+// concreteAllocType picks a class assignable to v by walking down from
+// v's own static type (nil for interface/array-typed vars with no
+// class subtype — the caller falls back to a self-copy).
+func concreteAllocType(v *lang.Var) *lang.Class {
+	if !v.Type.IsInterface && !v.Type.IsArray() {
+		return v.Type
+	}
+	return nil
+}

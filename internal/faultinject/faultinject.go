@@ -48,6 +48,17 @@ const (
 	// StageJob fires when a mahjongd worker picks up a job, before any
 	// pipeline stage runs.
 	StageJob = "server.job"
+	// StageDelta fires at the entry of incremental IR diffing (unit
+	// hashing, shape comparison, base→next translation maps). A fault
+	// here must fall back to a from-scratch solve, never fail the job.
+	StageDelta = "delta.diff"
+	// StageSeed fires before the incremental solver's taint closure and
+	// warm seeding. A fault discards the partially seeded solver and
+	// falls back to a cold solve.
+	StageSeed = "pta.seed"
+	// StageQuery fires when mahjongd answers a demand-driven
+	// /jobs/{id}/query request, before any (bounded) demand solve runs.
+	StageQuery = "server.query"
 )
 
 // Hook decides what happens at a seam: return nil to proceed, an error

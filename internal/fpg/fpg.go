@@ -117,7 +117,21 @@ func BuildContext(ctx context.Context, r *pta.Result, opts Options) (g *Graph, e
 	g.Types = append(g.Types, nil)
 	g.Out = append(g.Out, nil)
 
-	objs := r.Objs()
+	// Canonical node order: allocation-site creation order (AllocSite.ID),
+	// not heap-model interning order. Interning follows solver processing
+	// order, which a warm-seeded incremental solve (pta.SolveIncremental)
+	// visits differently than a cold one; pinning node IDs to the program
+	// makes the graph — and everything downstream of it, including MOM
+	// representative election in package core — a pure function of the
+	// analyzed program and its points-to facts.
+	objs := append([]*pta.Obj(nil), r.Objs()...)
+	sort.Slice(objs, func(i, j int) bool {
+		oi, oj := objs[i], objs[j]
+		if oi.Rep != nil && oj.Rep != nil && oi.Rep != oj.Rep {
+			return oi.Rep.ID < oj.Rep.ID
+		}
+		return oi.ID < oj.ID
+	})
 	for _, o := range objs {
 		g.addNode(o)
 	}

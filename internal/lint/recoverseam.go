@@ -50,7 +50,7 @@ var stagePackages = map[string]string{
 
 // stageNameRE is the docs/ROBUSTNESS.md naming convention: a stage-package
 // segment, a dot, and a lowercase seam name ("pta.solve", "server.cache.load").
-var stageNameRE = regexp.MustCompile(`^(pta|fpg|core|automata|clients|server)\.[a-z][a-z.]*[a-z]$`)
+var stageNameRE = regexp.MustCompile(`^(pta|fpg|core|automata|clients|server|delta)\.[a-z][a-z.]*[a-z]$`)
 
 func runRecoverSeam(pass *Pass) {
 	// The failure and faultinject packages are the recovery mechanism, not

@@ -13,6 +13,12 @@ const (
 	// StageUnknown is seamed but missing from the server's knownStages, so
 	// its metrics series would appear only after the first failure.
 	StageUnknown = "fpg.build" // want "missing from the server's knownStages registry"
+	// StageDelta, StageSeed and StageQuery mirror the incremental-engine
+	// stages: declared, seamed below, and listed in the fixture server's
+	// knownStages. No finding on any of them.
+	StageDelta = "delta.diff"
+	StageSeed  = "pta.seed"
+	StageQuery = "server.query"
 )
 
 // Fire mirrors the real seam entry point.

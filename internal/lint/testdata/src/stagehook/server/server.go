@@ -9,5 +9,8 @@ package server
 var knownStages = []string{
 	"pta.solve",
 	"core.build",
+	"delta.diff",
+	"pta.seed",
+	"server.query",
 	"zz.stray", // want "does not match any faultinject Stage. constant"
 }

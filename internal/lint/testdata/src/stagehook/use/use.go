@@ -14,6 +14,9 @@ import (
 func seams() {
 	_ = fi.Fire(fi.StageGood)
 	_ = fi.Fire(fi.StageUnknown)
+	_ = fi.Fire(fi.StageDelta)
+	_ = fi.Fire(fi.StageSeed)
+	_ = fi.Fire(fi.StageQuery)
 	_ = fi.Fire("qq.undeclared") // want "fired at a faultinject.Fire seam but not declared"
 }
 

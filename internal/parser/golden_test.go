@@ -1,4 +1,6 @@
-package parser
+// External test package: the in-package form would cycle now that
+// internal/pta (via internal/delta) imports the parser.
+package parser_test
 
 import (
 	"os"
@@ -6,6 +8,7 @@ import (
 	"testing"
 
 	"mahjong/internal/clients"
+	"mahjong/internal/parser"
 	"mahjong/internal/pta"
 )
 
@@ -18,7 +21,7 @@ func TestGoldenLuindex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, err := Parse("luindex.ir", string(data))
+	prog, err := parser.Parse("luindex.ir", string(data))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,12 +31,12 @@ func TestGoldenLuindex(t *testing.T) {
 	}
 
 	// Print → Parse → Print is a fixpoint.
-	text1 := Print(prog)
-	prog2, err := Parse("reprint.ir", text1)
+	text1 := parser.Print(prog)
+	prog2, err := parser.Parse("reprint.ir", text1)
 	if err != nil {
 		t.Fatalf("reparse: %v", err)
 	}
-	if Print(prog2) != text1 {
+	if parser.Print(prog2) != text1 {
 		t.Fatal("printer not a fixpoint on golden file")
 	}
 	if prog.Stats() != prog2.Stats() {
@@ -49,7 +52,7 @@ func TestGoldenAnalysisStable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, err := Parse("luindex.ir", string(data))
+	prog, err := parser.Parse("luindex.ir", string(data))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,333 @@
+package pta
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mahjong/internal/delta"
+	"mahjong/internal/faultinject"
+	"mahjong/internal/lang"
+	"mahjong/internal/synth"
+)
+
+// assertSameAnalysis is the incremental A/B gate's comparator: the warm
+// and cold results analyzed the SAME program object, so every fact can
+// be compared through shared lang identities — per-variable points-to
+// sets (as allocation-site labels), the call graph, reachable-method
+// counts, and cast facts.
+func assertSameAnalysis(t *testing.T, tag string, prog *lang.Program, warm, cold *Result) {
+	t.Helper()
+	if got, want := warm.NumReachableMethods(), cold.NumReachableMethods(); got != want {
+		t.Fatalf("%s: reachable methods %d (warm) vs %d (cold)", tag, got, want)
+	}
+	for _, m := range prog.Methods {
+		for _, v := range m.Locals {
+			got, want := varSiteLabels(warm, v), varSiteLabels(cold, v)
+			if !equalStrings(got, want) {
+				t.Fatalf("%s: pts(%s.%s) differ:\n warm: %v\n cold: %v", tag, m, v.Name, got, want)
+			}
+		}
+	}
+	ge, we := warm.CallGraphEdges(), cold.CallGraphEdges()
+	if len(ge) != len(we) {
+		t.Fatalf("%s: %d (warm) vs %d (cold) call edges", tag, len(ge), len(we))
+	}
+	for i := range ge {
+		if ge[i] != we[i] {
+			t.Fatalf("%s: call edge %d: %v->%v (warm) vs %v->%v (cold)", tag, i,
+				ge[i].Site.Label(), ge[i].Callee, we[i].Site.Label(), we[i].Callee)
+		}
+	}
+	gc, wc := castSets(warm), castSets(cold)
+	if len(gc) != len(wc) {
+		t.Fatalf("%s: %d (warm) vs %d (cold) reachable casts", tag, len(gc), len(wc))
+	}
+	for stmt, labels := range gc {
+		if !equalStrings(labels, wc[stmt]) {
+			t.Fatalf("%s: cast %v incoming differ:\n warm: %v\n cold: %v", tag, stmt, labels, wc[stmt])
+		}
+	}
+}
+
+// incrementalSubjects returns the equivalence sweep's subjects: random
+// programs plus a generated benchmark, per the acceptance criterion of
+// >= 3 synthetic subjects.
+func incrementalSubjects(t *testing.T) []struct {
+	name string
+	prog *lang.Program
+} {
+	t.Helper()
+	luindex, err := synth.ProfileByName("luindex")
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	gen, err := synth.Generate(luindex)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return []struct {
+		name string
+		prog *lang.Program
+	}{
+		{"rand1", synth.RandomProgram(1)},
+		{"rand7", synth.RandomProgram(7)},
+		{"rand13", synth.RandomProgram(13)},
+		{"luindex", gen},
+	}
+}
+
+// TestIncrementalEquivalenceRandomEdits is the A/B gate: chains of
+// random body-only edits, each step solved warm (seeded from the
+// previous step's result — itself possibly warm) and cold, must agree
+// exactly. This is the incremental analogue of
+// TestOptimizedSolverEquivalence.
+func TestIncrementalEquivalenceRandomEdits(t *testing.T) {
+	const steps = 5
+	for _, sub := range incrementalSubjects(t) {
+		rng := rand.New(rand.NewSource(42)) //nolint:gosec // deterministic test sweep
+		cur := sub.prog
+		curRes, err := Solve(cur, Options{})
+		if err != nil {
+			t.Fatalf("%s: cold base solve: %v", sub.name, err)
+		}
+		for i := 0; i < steps; i++ {
+			next, desc, err := delta.RandomEdit(cur, rng)
+			if err != nil {
+				t.Fatalf("%s step %d: edit: %v", sub.name, i, err)
+			}
+			d, err := delta.Compute(cur, next, delta.Options{})
+			if err != nil {
+				t.Fatalf("%s step %d: diff: %v", sub.name, i, err)
+			}
+			if !d.BodyOnly {
+				t.Fatalf("%s step %d (%s): edit not body-only: %s", sub.name, i, desc, d.Reason)
+			}
+			warm, st, err := SolveIncremental(next, Options{}, curRes, d)
+			if err != nil {
+				t.Fatalf("%s step %d (%s): incremental solve: %v", sub.name, i, desc, err)
+			}
+			if !st.Used {
+				t.Fatalf("%s step %d (%s): fell back to cold solve: %s", sub.name, i, desc, st.Fallback)
+			}
+			cold, err := Solve(next, Options{})
+			if err != nil {
+				t.Fatalf("%s step %d (%s): cold solve: %v", sub.name, i, desc, err)
+			}
+			assertSameAnalysis(t, fmt.Sprintf("%s step %d (%s)", sub.name, i, desc), next, warm, cold)
+			cur, curRes = next, warm
+		}
+	}
+}
+
+// TestIncrementalEquivalenceFallbacks checks that every ineligible
+// configuration degrades to a from-scratch solve with a recorded
+// reason — and still returns the exact cold result.
+func TestIncrementalEquivalenceFallbacks(t *testing.T) {
+	prog := synth.RandomProgram(3)
+	base, err := Solve(prog, Options{})
+	if err != nil {
+		t.Fatalf("base solve: %v", err)
+	}
+	identical, err := delta.Rewrite(prog, nil)
+	if err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	d, err := delta.Compute(prog, identical, delta.Options{})
+	if err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+	if !d.BodyOnly || len(d.Changed) != 0 {
+		t.Fatalf("identity rewrite diffs: BodyOnly=%v changed=%d", d.BodyOnly, len(d.Changed))
+	}
+
+	check := func(tag string, res *Result, st *IncrementalStats, err error, wantReason string, coldOpts Options) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", tag, err)
+		}
+		if st.Used {
+			t.Fatalf("%s: expected fallback, got warm solve", tag)
+		}
+		if st.Fallback == "" || wantReason != "" && !containsStr(st.Fallback, wantReason) {
+			t.Fatalf("%s: fallback reason %q, want substring %q", tag, st.Fallback, wantReason)
+		}
+		cold, err := Solve(identical, coldOpts)
+		if err != nil {
+			t.Fatalf("%s: cold: %v", tag, err)
+		}
+		assertSameAnalysis(t, tag, identical, res, cold)
+	}
+
+	// No base result at all.
+	res, st, err := SolveIncremental(identical, Options{}, nil, d)
+	check("nil base", res, st, err, "no base result", Options{})
+
+	// Shape change: the edited program grew a class.
+	shaped, err := delta.Rewrite(prog, nil)
+	if err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	shaped.NewClass("ExtraClass", nil)
+	ds, err := delta.Compute(prog, shaped, delta.Options{})
+	if err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+	if ds.BodyOnly {
+		t.Fatal("class addition not detected as shape change")
+	}
+	res, st, err = SolveIncremental(shaped, Options{}, base, ds)
+	if err != nil {
+		t.Fatalf("shape change: %v", err)
+	}
+	if st.Used || !containsStr(st.Fallback, "shape change") {
+		t.Fatalf("shape change: Used=%v Fallback=%q", st.Used, st.Fallback)
+	}
+
+	// Context-sensitive selector is ineligible.
+	res, st, err = SolveIncremental(identical, Options{Selector: KObj{K: 2}}, base, d)
+	check("kobj selector", res, st, err, "context-sensitive", Options{Selector: KObj{K: 2}})
+
+	// Non-alloc-site heap model is ineligible.
+	res, st, err = SolveIncremental(identical, Options{Heap: NewAllocTypeModel()}, base, d)
+	check("alloc-type heap", res, st, err, "not alloc-site", Options{Heap: NewAllocTypeModel()})
+
+	// A partial (work-budget aborted) base retains no usable state.
+	partial, err := Solve(prog, Options{Budget: Budget{Work: 1}})
+	if err != nil {
+		t.Fatalf("partial solve: %v", err)
+	}
+	if !partial.Aborted {
+		t.Fatal("tiny budget did not abort")
+	}
+	res, st, err = SolveIncremental(identical, Options{}, partial, d)
+	check("aborted base", res, st, err, "partial", Options{})
+}
+
+// TestIncrementalEquivalenceSeedFault injects a fault at the pta.seed
+// seam: the incremental path must degrade to a cold solve — never fail
+// the analysis — and record the injection in the fallback reason.
+func TestIncrementalEquivalenceSeedFault(t *testing.T) {
+	defer faultinject.Clear()
+	prog := synth.RandomProgram(5)
+	base, err := Solve(prog, Options{})
+	if err != nil {
+		t.Fatalf("base solve: %v", err)
+	}
+	rng := rand.New(rand.NewSource(9)) //nolint:gosec // deterministic test
+	next, desc, err := delta.RandomEdit(prog, rng)
+	if err != nil {
+		t.Fatalf("edit: %v", err)
+	}
+	d, err := delta.Compute(prog, next, delta.Options{})
+	if err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+
+	for _, mode := range []struct {
+		name string
+		hook faultinject.Hook
+	}{
+		{"error", faultinject.Fail(errors.New("injected seed fault"))},
+		{"panic", faultinject.PanicWith("injected seed bug")},
+	} {
+		faultinject.Set(faultinject.OnStage(faultinject.StageSeed, mode.hook))
+		warm, st, err := SolveIncremental(next, Options{}, base, d)
+		faultinject.Clear()
+		if err != nil {
+			t.Fatalf("%s (%s): incremental solve failed hard: %v", mode.name, desc, err)
+		}
+		if st.Used || !containsStr(st.Fallback, "seed preparation failed") {
+			t.Fatalf("%s: Used=%v Fallback=%q", mode.name, st.Used, st.Fallback)
+		}
+		cold, err := Solve(next, Options{})
+		if err != nil {
+			t.Fatalf("cold: %v", err)
+		}
+		assertSameAnalysis(t, "seed fault "+mode.name, next, warm, cold)
+	}
+}
+
+// TestIncrementalReplayWorkReduction is the deterministic speedup gate
+// behind the BENCH_incremental.json numbers: after a one-method edit on
+// a benchmark-scale subject, the warm solve's propagation work counter
+// must come in at <= 1/5 of the cold solve's. Work is a deterministic
+// counter, so this cannot flake the way wall-clock ratios do.
+func TestIncrementalReplayWorkReduction(t *testing.T) {
+	prof, err := synth.ProfileByName("checkstyle")
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	prog, err := synth.Generate(prof)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	base, err := Solve(prog, Options{})
+	if err != nil {
+		t.Fatalf("base solve: %v", err)
+	}
+
+	// One-method edit: prepend a semantically inert self-copy to the
+	// first concrete instance method, changing exactly one body hash.
+	var target *lang.Method
+	for _, c := range prog.Classes {
+		for _, m := range c.DeclaredMethods {
+			if !m.IsAbstract && m != prog.Entry && m.This != nil {
+				target = m
+				break
+			}
+		}
+		if target != nil {
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("no editable method")
+	}
+	next, err := delta.Rewrite(prog, func(m *lang.Method, stmts []lang.Stmt) []lang.Stmt {
+		if m != target {
+			return stmts
+		}
+		return append([]lang.Stmt{&lang.Copy{LHS: m.This, RHS: m.This}}, stmts...)
+	})
+	if err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	d, err := delta.Compute(prog, next, delta.Options{})
+	if err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+	if !d.BodyOnly || len(d.Changed) != 1 {
+		t.Fatalf("expected exactly one changed method, got BodyOnly=%v changed=%d", d.BodyOnly, len(d.Changed))
+	}
+
+	warm, st, err := SolveIncremental(next, Options{}, base, d)
+	if err != nil {
+		t.Fatalf("incremental solve: %v", err)
+	}
+	if !st.Used {
+		t.Fatalf("fell back: %s", st.Fallback)
+	}
+	cold, err := Solve(next, Options{})
+	if err != nil {
+		t.Fatalf("cold solve: %v", err)
+	}
+	assertSameAnalysis(t, "one-method edit on "+prof.Name, next, warm, cold)
+	if warm.Work*5 > cold.Work {
+		t.Fatalf("warm solve did %d work vs cold %d: less than the required 5x reduction (stats %+v)",
+			warm.Work, cold.Work, st)
+	}
+	t.Logf("one-method edit on %s: cold work %d, warm work %d (%.1fx), seeded %d facts into %d vars / %d fields / %d statics, %d/%d nodes tainted",
+		prof.Name, cold.Work, warm.Work, float64(cold.Work)/float64(warm.Work),
+		st.SeededFacts, st.SeededVars, st.SeededFields, st.SeededStatics, st.TaintedNodes, st.BaseNodes)
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

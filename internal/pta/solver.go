@@ -68,6 +68,14 @@ type Options struct {
 	// per-pass "pta.collapse" child spans) carrying the Stats counters
 	// as span deltas. The zero Ctx disables tracing at no cost.
 	Trace trace.Ctx
+
+	// seed, when non-nil, pre-populates the freshly constructed solver
+	// before the worklist runs (the incremental warm start installed by
+	// SolveIncrementalContext). Package-private on purpose: a seed is
+	// only sound if every fact it installs lies below the program's
+	// least fixpoint, an invariant the incremental taint closure
+	// guarantees and arbitrary callers cannot.
+	seed func(*solver) error
 }
 
 // nodeKind discriminates pointer nodes.
@@ -330,6 +338,15 @@ func SolveContext(ctx context.Context, prog *lang.Program, opts Options) (res *R
 	if opts.Budget.Time > 0 {
 		s.deadline = start.Add(opts.Budget.Time)
 		s.hasTimeout = true
+	}
+	if opts.seed != nil {
+		// Warm-start seeding: install retained facts below the fixpoint
+		// with no worklist entries, so the run converges by constraint
+		// replay instead of propagation cascades. Seed errors (resource
+		// exhaustion, cancellation) abort before any solving happened.
+		if err := opts.seed(s); err != nil {
+			return nil, fmt.Errorf("pta: seeding failed: %w", err)
+		}
 	}
 	aborted, cancelled, exhausted := s.run()
 	s.recordSpan(sp)
@@ -665,6 +682,14 @@ func (s *solver) queue(id int) {
 // points-to set across it. Duplicate edges are suppressed — by a linear
 // scan while the successor list is short, by a hash set once it grows.
 func (s *solver) addEdge(from, to int, filter *lang.Class) {
+	s.addEdgeIf(from, to, filter, true)
+}
+
+// addEdgeIf is addEdge with the replay made optional. The warm seeder
+// passes replay=false for edges whose target's set was installed from
+// the base fixpoint and already contains everything the source would
+// push — skipping those full-set unions is most of the seeding win.
+func (s *solver) addEdgeIf(from, to int, filter *lang.Class, replay bool) {
 	from, to = s.find(from), s.find(to)
 	if from == to && filter == nil {
 		return
@@ -696,7 +721,7 @@ func (s *solver) addEdge(from, to int, filter *lang.Class) {
 		s.stats.CopyEdges++
 		s.newCopyEdges++
 	}
-	if !n.pts.IsEmpty() {
+	if replay && !n.pts.IsEmpty() {
 		s.addPts(to, s.filtered(&n.pts, filter))
 	}
 }

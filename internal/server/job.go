@@ -54,6 +54,13 @@ type JobSpec struct {
 	BudgetFacts int64 `json:"budget_facts,omitempty"`
 	BudgetWords int64 `json:"budget_words,omitempty"`
 	BudgetPairs int64 `json:"budget_pairs,omitempty"`
+	// BaseJobID names a previously completed job whose retained analysis
+	// state this job's abstraction build should solve incrementally
+	// against (mahjong heap only). When the base state is unavailable —
+	// the job failed, was evicted from the retention window, or never
+	// built a Mahjong abstraction — the build silently falls back to
+	// from-scratch and records the reason in the job view.
+	BaseJobID string `json:"base_job_id,omitempty"`
 }
 
 // job is one submission. The mutex guards the mutable state; results
@@ -80,10 +87,19 @@ type job struct {
 	started   time.Time
 	finished  time.Time
 	cancel    context.CancelFunc // non-nil while running
+	// deltaUsed marks an abstraction actually warm-started from the base
+	// job named in spec.BaseJobID; deltaReason records why it was not
+	// (unavailable base, shape change, cache hit, …).
+	deltaUsed   bool
+	deltaReason string
 
 	prog *mahjong.Program
 	abs  *mahjong.Abstraction
 	rep  *mahjong.Report
+	// query caches the per-job demand-query state (private program, CHA
+	// graph, bounded solve) so repeated /query calls share one solve.
+	query   *queryState
+	queryMu sync.Mutex
 	// traces holds one snapshotted span tree per pipeline attempt: a
 	// degraded job carries the failed Mahjong attempt and the alloc-site
 	// re-run side by side.
@@ -120,10 +136,16 @@ type view struct {
 	DegradedCause string `json:"degraded_cause,omitempty"`
 	// Retriable marks a failure the client should retry (the server shut
 	// down before the job started); paired with HTTP 503 + Retry-After.
-	Retriable bool   `json:"retriable,omitempty"`
-	Created   string `json:"created"`
-	Started   string `json:"started,omitempty"`
-	Finished  string `json:"finished,omitempty"`
+	Retriable bool `json:"retriable,omitempty"`
+	// BaseJobID echoes the requested incremental base; DeltaUsed reports
+	// whether the abstraction was actually warm-started from it, and
+	// DeltaReason explains a fallback to the from-scratch build.
+	BaseJobID   string `json:"base_job_id,omitempty"`
+	DeltaUsed   bool   `json:"delta_used,omitempty"`
+	DeltaReason string `json:"delta_reason,omitempty"`
+	Created     string `json:"created"`
+	Started     string `json:"started,omitempty"`
+	Finished    string `json:"finished,omitempty"`
 
 	Result *resultView `json:"result,omitempty"`
 }
@@ -158,6 +180,9 @@ func (j *job) view() view {
 		Degraded:      j.degraded,
 		DegradedCause: j.degradedCause,
 		Retriable:     j.retriable,
+		BaseJobID:     j.spec.BaseJobID,
+		DeltaUsed:     j.deltaUsed,
+		DeltaReason:   j.deltaReason,
 		Created:       j.created.UTC().Format(time.RFC3339Nano),
 	}
 	if !j.started.IsZero() {

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mahjong"
 	"mahjong/internal/faultinject"
 	"mahjong/internal/trace"
 )
@@ -31,6 +32,9 @@ var knownStages = []string{
 	faultinject.StageClients,
 	faultinject.StageCacheLoad,
 	faultinject.StageJob,
+	faultinject.StageDelta,
+	faultinject.StageSeed,
+	faultinject.StageQuery,
 }
 
 // metrics holds the daemon's counters. All fields are atomics so that
@@ -56,6 +60,19 @@ type metrics struct {
 
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+
+	// Incremental (delta) jobs: submissions naming a base_job_id, split
+	// into warm starts and fallbacks to the from-scratch build.
+	deltaJobs      atomic.Int64
+	deltaWarm      atomic.Int64
+	deltaFallbacks atomic.Int64
+
+	// Demand queries (POST /jobs/{id}/query) by answer source.
+	queriesTotal  atomic.Int64
+	queriesFull   atomic.Int64 // answered from a completed job's result
+	queriesCHA    atomic.Int64 // short-circuited by CHA unreachability
+	queriesDemand atomic.Int64 // answered by the bounded demand solve
+	queryErrors   atomic.Int64
 
 	solverWork atomic.Int64 // propagation units across all main analyses
 	preNS      atomic.Int64 // pre-analysis time, abstraction builds only
@@ -191,6 +208,10 @@ func (m *metrics) stageFailureSnapshot() map[string]int64 {
 
 // MetricsSnapshot is the JSON form of /metrics?format=json.
 type MetricsSnapshot struct {
+	// Version is the library/daemon build version (mahjong.Version),
+	// exported to Prometheus as the mahjongd_build_info gauge.
+	Version string `json:"version"`
+
 	JobsSubmitted int64 `json:"jobs_submitted"`
 	JobsCompleted int64 `json:"jobs_completed"`
 	JobsFailed    int64 `json:"jobs_failed"`
@@ -210,6 +231,19 @@ type MetricsSnapshot struct {
 	CacheEntries     int64 `json:"abstraction_cache_entries"`
 	CacheQuarantined int64 `json:"abstraction_cache_quarantined"`
 
+	// Delta (incremental) job counters and the retained-state gauge.
+	DeltaJobs      int64 `json:"delta_jobs"`
+	DeltaWarm      int64 `json:"delta_warm"`
+	DeltaFallbacks int64 `json:"delta_fallbacks"`
+	DeltaStates    int64 `json:"delta_states_retained"`
+
+	// Demand-query counters by answer source.
+	QueriesTotal  int64 `json:"queries_total"`
+	QueriesFull   int64 `json:"queries_full"`
+	QueriesCHA    int64 `json:"queries_cha"`
+	QueriesDemand int64 `json:"queries_demand"`
+	QueryErrors   int64 `json:"query_errors"`
+
 	SolverWork     int64 `json:"solver_work_units"`
 	PreAnalysisMS  int64 `json:"pre_analysis_ms"`
 	FPGBuildMS     int64 `json:"fpg_build_ms"`
@@ -226,9 +260,11 @@ type MetricsSnapshot struct {
 	StageDurations map[string]StageDuration `json:"stage_durations"`
 }
 
-func (m *metrics) snapshot(queued, cacheEntries int) MetricsSnapshot {
+func (m *metrics) snapshot(queued, cacheEntries, deltaStates int) MetricsSnapshot {
 	ms := func(ns int64) int64 { return ns / int64(time.Millisecond) }
 	return MetricsSnapshot{
+		Version: mahjong.Version,
+
 		JobsSubmitted: m.jobsSubmitted.Load(),
 		JobsCompleted: m.jobsCompleted.Load(),
 		JobsFailed:    m.jobsFailed.Load(),
@@ -246,6 +282,17 @@ func (m *metrics) snapshot(queued, cacheEntries int) MetricsSnapshot {
 		CacheMisses:      m.cacheMisses.Load(),
 		CacheEntries:     int64(cacheEntries),
 		CacheQuarantined: m.cacheQuarantined.Load(),
+
+		DeltaJobs:      m.deltaJobs.Load(),
+		DeltaWarm:      m.deltaWarm.Load(),
+		DeltaFallbacks: m.deltaFallbacks.Load(),
+		DeltaStates:    int64(deltaStates),
+
+		QueriesTotal:  m.queriesTotal.Load(),
+		QueriesFull:   m.queriesFull.Load(),
+		QueriesCHA:    m.queriesCHA.Load(),
+		QueriesDemand: m.queriesDemand.Load(),
+		QueryErrors:   m.queryErrors.Load(),
 
 		SolverWork:     m.solverWork.Load(),
 		PreAnalysisMS:  ms(m.preNS.Load()),
@@ -271,6 +318,8 @@ func writeProm(w io.Writer, s MetricsSnapshot) {
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
+	fmt.Fprintf(w, "# HELP mahjongd_build_info Build metadata; the value is always 1, the version rides in the label.\n"+
+		"# TYPE mahjongd_build_info gauge\nmahjongd_build_info{version=%q} 1\n", s.Version)
 	counter("mahjongd_jobs_submitted_total", "Jobs accepted for execution.", s.JobsSubmitted)
 	counter("mahjongd_jobs_completed_total", "Jobs that finished successfully.", s.JobsCompleted)
 	counter("mahjongd_jobs_failed_total", "Jobs that ended in an error.", s.JobsFailed)
@@ -299,6 +348,15 @@ func writeProm(w io.Writer, s MetricsSnapshot) {
 	counter("mahjongd_abstraction_cache_misses_total", "Abstraction builds performed and cached.", s.CacheMisses)
 	gauge("mahjongd_abstraction_cache_entries", "Abstractions currently cached.", s.CacheEntries)
 	counter("mahjongd_abstraction_cache_quarantined_total", "Corrupt cache entries quarantined.", s.CacheQuarantined)
+	counter("mahjongd_delta_jobs_total", "Jobs submitted with a base_job_id.", s.DeltaJobs)
+	counter("mahjongd_delta_warm_total", "Delta jobs whose abstraction was warm-started from the base state.", s.DeltaWarm)
+	counter("mahjongd_delta_fallbacks_total", "Delta jobs that fell back to the from-scratch build.", s.DeltaFallbacks)
+	gauge("mahjongd_delta_states_retained", "Completed-job analysis states retained for incremental reuse.", s.DeltaStates)
+	counter("mahjongd_queries_total", "Demand queries received on POST /jobs/{id}/query.", s.QueriesTotal)
+	counter("mahjongd_queries_full_total", "Demand queries answered exactly from a completed job's result.", s.QueriesFull)
+	counter("mahjongd_queries_cha_total", "Demand queries short-circuited by CHA unreachability.", s.QueriesCHA)
+	counter("mahjongd_queries_demand_total", "Demand queries answered by the bounded context-insensitive solve.", s.QueriesDemand)
+	counter("mahjongd_query_errors_total", "Demand queries that ended in an error.", s.QueryErrors)
 	counter("mahjongd_solver_work_units_total", "Points-to propagation work across main analyses.", s.SolverWork)
 	counter("mahjongd_pre_analysis_milliseconds_total", "Time spent in context-insensitive pre-analyses.", s.PreAnalysisMS)
 	counter("mahjongd_fpg_build_milliseconds_total", "Time spent building field points-to graphs.", s.FPGBuildMS)

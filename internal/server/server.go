@@ -62,6 +62,14 @@ type Config struct {
 	// are whole trees (one Write call each), so any io.Writer whose
 	// Write is atomic works concurrently.
 	SlowJobLog io.Writer
+	// DeltaStates caps how many completed jobs keep their analysis state
+	// retained for incremental (base_job_id) resubmissions; 0 = 4,
+	// negative = unbounded. States are heavyweight (program + saturated
+	// pre-analysis + merge decisions), so the default is small.
+	DeltaStates int
+	// QueryBudget caps the propagation work of the demand solve behind
+	// POST /jobs/{id}/query; 0 = 200k units, negative = unlimited.
+	QueryBudget int64
 }
 
 // maxTimeoutMS caps timeout_ms at 24 hours: beyond that a "timeout" is
@@ -76,6 +84,7 @@ type Server struct {
 	store   *jobStore
 	queue   chan *job
 	cache   *absCache
+	deltas  *deltaStore
 	metrics *metrics
 	quit    chan struct{}
 	stop    func()
@@ -117,6 +126,7 @@ func New(cfg Config) *Server {
 		store:   newJobStore(),
 		queue:   make(chan *job, cfg.QueueDepth),
 		cache:   newAbsCache(cacheCap),
+		deltas:  newDeltaStore(cfg.DeltaStates),
 		metrics: newMetrics(),
 		quit:    make(chan struct{}),
 		done:    make(chan struct{}),
@@ -240,6 +250,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("POST /jobs/{id}/query", s.handleQuery)
 	s.mux.HandleFunc("GET /jobs/{id}/pointsto", s.handlePointsTo)
 	s.mux.HandleFunc("GET /jobs/{id}/callgraph", s.handleCallGraph)
 	s.mux.HandleFunc("GET /jobs/{id}/casts", s.handleCasts)
@@ -317,6 +328,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "budget_facts, budget_words and budget_pairs must be non-negative")
 		return
 	}
+	if spec.BaseJobID != "" && mahjong.HeapKind(defaulted(spec.Heap, string(mahjong.HeapMahjong))) != mahjong.HeapMahjong {
+		httpError(w, http.StatusBadRequest, "base_job_id requires the mahjong heap (got %q)", spec.Heap)
+		return
+	}
 
 	j := s.store.add(spec, prog)
 	select {
@@ -328,6 +343,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.jobsSubmitted.Add(1)
+	if spec.BaseJobID != "" {
+		s.metrics.deltaJobs.Add(1)
+	}
 	writeJSON(w, http.StatusAccepted, j.view())
 }
 
@@ -576,7 +594,7 @@ func (s *Server) runAttempt(ctx context.Context, j *job, prog *mahjong.Program, 
 	}()
 	cfg.Trace = root.Ctx()
 	if cfg.Heap == mahjong.HeapMahjong {
-		abs, hit, aerr := s.abstractionFor(ctx, prog, resources, root.Ctx())
+		abs, hit, aerr := s.abstractionFor(ctx, j, prog, resources, root.Ctx())
 		if aerr != nil {
 			return nil, aerr
 		}
@@ -609,17 +627,49 @@ func (s *Server) markDegraded(j *job, cause error) {
 // rebuilt from scratch once. Failed builds are never cached (getOrFill
 // drops the entry), so degraded or poisoned results cannot enter the
 // cache.
-func (s *Server) abstractionFor(ctx context.Context, prog *mahjong.Program, resources mahjong.ResourceBudget, tc trace.Ctx) (*mahjong.Abstraction, bool, error) {
+//
+// Every actually-built abstraction also deposits its DeltaState in the
+// retention store under the job's ID, making the job a valid
+// base_job_id for later submissions; when j itself names a base with a
+// retained state, the build runs incrementally against it. An
+// incremental build returns the same abstraction a cold build would
+// (BuildAbstractionDelta's equivalence contract), so caching its bytes
+// is as safe as caching a cold build's — and fallbacks (missing base,
+// shape change, injected delta faults) only cost the warm start, with
+// the reason recorded on the job.
+func (s *Server) abstractionFor(ctx context.Context, j *job, prog *mahjong.Program, resources mahjong.ResourceBudget, tc trace.Ctx) (*mahjong.Abstraction, bool, error) {
 	key := cacheKey(mahjong.PrintProgram(prog))
 	for attempt := 0; ; attempt++ {
 		var built *mahjong.Abstraction
 		data, hit, err := s.cache.getOrFill(ctx, key, func() ([]byte, error) {
-			abs, err := mahjong.BuildAbstractionContext(ctx, prog, mahjong.AbstractionOptions{
+			var base *mahjong.DeltaState
+			baseReason := ""
+			if j.spec.BaseJobID != "" {
+				if base = s.deltas.get(j.spec.BaseJobID); base == nil {
+					baseReason = fmt.Sprintf("no retained state for base job %q", j.spec.BaseJobID)
+				}
+			}
+			abs, next, out, err := mahjong.BuildAbstractionDelta(ctx, prog, mahjong.AbstractionOptions{
 				Resources: resources,
 				Trace:     tc,
-			})
+			}, base)
 			if err != nil {
 				return nil, err
+			}
+			s.deltas.put(j.id, next)
+			if j.spec.BaseJobID != "" {
+				if baseReason == "" {
+					baseReason = out.Fallback
+				}
+				j.mu.Lock()
+				j.deltaUsed = out.Used
+				j.deltaReason = baseReason
+				j.mu.Unlock()
+				if out.Used {
+					s.metrics.deltaWarm.Add(1)
+				} else {
+					s.metrics.deltaFallbacks.Add(1)
+				}
 			}
 			s.metrics.preNS.Add(abs.PreTime.Nanoseconds())
 			s.metrics.fpgNS.Add(abs.FPGTime.Nanoseconds())
@@ -639,6 +689,16 @@ func (s *Server) abstractionFor(ctx context.Context, prog *mahjong.Program, reso
 			return built, false, nil
 		}
 		s.metrics.cacheHits.Add(1)
+		if j.spec.BaseJobID != "" {
+			// Served from the abstraction cache: nothing was solved, so
+			// the delta machinery never ran (and this job retains no state
+			// of its own).
+			j.mu.Lock()
+			j.deltaUsed = false
+			j.deltaReason = "abstraction served from cache"
+			j.mu.Unlock()
+			s.metrics.deltaFallbacks.Add(1)
+		}
 		// The fault-injection seam corrupts cached bytes here, the same
 		// place bit rot or a buggy serializer would.
 		sp := tc.Start(faultinject.StageCacheLoad)
@@ -667,7 +727,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := s.metrics.snapshot(len(s.queue), s.cache.len())
+	snap := s.metrics.snapshot(len(s.queue), s.cache.len(), s.deltas.len())
 	if r.URL.Query().Get("format") == "json" {
 		writeJSON(w, http.StatusOK, snap)
 		return

@@ -37,7 +37,6 @@ import (
 	"mahjong/internal/core"
 	"mahjong/internal/failure"
 	"mahjong/internal/faultinject"
-	"mahjong/internal/fpg"
 	"mahjong/internal/lang"
 	"mahjong/internal/parser"
 	"mahjong/internal/pta"
@@ -233,66 +232,8 @@ func BuildAbstraction(p *Program, opts AbstractionOptions) (*Abstraction, error)
 // ctx, and a cancelled or timed-out context aborts with an error
 // wrapping context.Canceled or context.DeadlineExceeded.
 func BuildAbstractionContext(ctx context.Context, p *Program, opts AbstractionOptions) (*Abstraction, error) {
-	// One meter for the whole pipeline: a greedy pre-analysis leaves less
-	// budget for FPG construction and modeling, bounding the job's total
-	// resource use rather than each stage's.
-	meter := budget.NewMeter(opts.Resources)
-
-	t0 := time.Now()
-	pre, err := pta.SolveContext(ctx, p, pta.Options{
-		Budget: pta.Budget{Work: opts.PreBudget},
-		Meter:  meter,
-		Trace:  opts.Trace,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("mahjong: pre-analysis: %w", err)
-	}
-	if pre.Aborted {
-		return nil, fmt.Errorf("mahjong: pre-analysis: %w", ErrBudget)
-	}
-	preTime := time.Since(t0)
-
-	t1 := time.Now()
-	g, err := fpg.BuildContext(ctx, pre, fpg.Options{
-		OmitNullNode: opts.OmitNullNode,
-		Meter:        meter,
-		Trace:        opts.Trace,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("mahjong: fpg: %w", err)
-	}
-	fpgTime := time.Since(t1)
-
-	policy := core.RepFirst
-	if opts.TypeDiverseReps {
-		policy = core.RepTypeDiverse
-	}
-	res, err := core.BuildContext(ctx, g, core.Options{
-		Workers:        opts.Workers,
-		Policy:         policy,
-		DisableSharing: opts.DisableSharedAutomata,
-		Meter:          meter,
-		Trace:          opts.Trace,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("mahjong: heap modeling: %w", err)
-	}
-	merged := 0
-	for _, c := range res.Classes {
-		if c.Size() >= 2 {
-			merged++
-		}
-	}
-	return &Abstraction{
-		MOM:           res.MOM,
-		Objects:       res.NumObjects,
-		MergedObjects: res.NumMerged,
-		Classes:       merged,
-		PreTime:       preTime,
-		FPGTime:       fpgTime,
-		ModelTime:     res.Duration,
-		res:           res,
-	}, nil
+	abs, _, _, err := buildPipeline(ctx, p, opts, nil, nil, nil, false)
+	return abs, err
 }
 
 // Config selects the analysis of an Analyze run.

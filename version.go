@@ -1,0 +1,6 @@
+package mahjong
+
+// Version identifies this build of the library and its tools. The
+// cmd/mahjong and cmd/mahjongd binaries report it via -version, and
+// mahjongd exports it as the mahjongd_build_info metric.
+const Version = "0.6.0"
