@@ -129,9 +129,11 @@ func buildPipeline(ctx context.Context, p *Program, opts AbstractionOptions, bas
 	meter := budget.NewMeter(opts.Resources)
 
 	preOpts := pta.Options{
-		Budget: pta.Budget{Work: opts.PreBudget},
-		Meter:  meter,
-		Trace:  opts.Trace,
+		Budget:   pta.Budget{Work: opts.PreBudget},
+		Meter:    meter,
+		Trace:    opts.Trace,
+		Parallel: opts.SolverWorkers,
+		Renumber: opts.Renumber,
 	}
 	t0 := time.Now()
 	var (

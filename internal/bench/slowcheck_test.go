@@ -1,7 +1,9 @@
 package bench
 
 import (
+	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"testing"
 
@@ -14,20 +16,44 @@ import (
 )
 
 // The solver's hot-path optimizations (copy-cycle collapsing,
-// class-indexed filter masks, pooled delta sets) must be invisible in
-// every result the rest of the pipeline consumes. This file runs the
-// optimized and the NoOpt solver over real benchmark programs and
-// diffs everything downstream: per-variable points-to sets, client
-// metrics, and the Mahjong merged-object counts.
+// class-indexed filter masks, pooled delta sets, object renumbering,
+// and the sharded parallel engine) must be invisible in every result
+// the rest of the pipeline consumes. This file runs alternative solver
+// configurations over real benchmark programs and diffs everything
+// downstream: per-variable points-to sets, client metrics, and the
+// Mahjong merged-object counts.
 //
-// A cheap always-on check covers one program; the full sweep over
-// every benchmark is slow (each program is solved twice, once
-// unoptimized) and runs only when MAHJONG_SLOWCHECK is set:
+// A cheap always-on check covers one program against the NoOpt and a
+// small parallel configuration; the full sweep — every benchmark, the
+// parallel-vs-sequential axis at workers ∈ {1, 2, GOMAXPROCS} with
+// renumbering — is slow and runs only when MAHJONG_SLOWCHECK is set:
 //
 //	MAHJONG_SLOWCHECK=1 go test ./internal/bench -run SolverEquivalence
 
+// variant is one solver configuration checked against the default.
+type variant struct {
+	name string
+	opts pta.Options
+}
+
+func quickVariants() []variant {
+	return []variant{
+		{"noopt", pta.Options{NoOpt: true}},
+		{"workers=2+renumber", pta.Options{Parallel: 2, Renumber: true}},
+	}
+}
+
+func fullVariants() []variant {
+	return append(quickVariants(),
+		variant{"workers=1", pta.Options{Parallel: 1}},
+		variant{"workers=2", pta.Options{Parallel: 2}},
+		variant{fmt.Sprintf("workers=%d", runtime.GOMAXPROCS(0)), pta.Options{Parallel: -1}},
+		variant{"renumber", pta.Options{Renumber: true}},
+	)
+}
+
 func TestSolverEquivalenceLuindex(t *testing.T) {
-	checkSolverEquivalence(t, "luindex")
+	checkSolverEquivalence(t, "luindex", quickVariants())
 }
 
 func TestSolverEquivalenceAllBenchmarks(t *testing.T) {
@@ -37,12 +63,12 @@ func TestSolverEquivalenceAllBenchmarks(t *testing.T) {
 	for _, name := range synth.ProfileNames() {
 		name := name
 		t.Run(name, func(t *testing.T) {
-			checkSolverEquivalence(t, name)
+			checkSolverEquivalence(t, name, fullVariants())
 		})
 	}
 }
 
-func checkSolverEquivalence(t *testing.T, name string) {
+func checkSolverEquivalence(t *testing.T, name string, variants []variant) {
 	t.Helper()
 	prof, err := synth.ProfileByName(name)
 	if err != nil {
@@ -56,9 +82,19 @@ func checkSolverEquivalence(t *testing.T, name string) {
 	if err != nil {
 		t.Fatalf("%s: Solve: %v", name, err)
 	}
-	naive, err := pta.Solve(prog, pta.Options{NoOpt: true})
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			checkVariant(t, name, prog, opt, v)
+		})
+	}
+}
+
+func checkVariant(t *testing.T, name string, prog *lang.Program, opt *pta.Result, v variant) {
+	t.Helper()
+	naive, err := pta.Solve(prog, v.opts)
 	if err != nil {
-		t.Fatalf("%s: Solve(NoOpt): %v", name, err)
+		t.Fatalf("%s: Solve(%s): %v", name, v.name, err)
 	}
 
 	// Client metrics summarize the call graph, poly-call sites,

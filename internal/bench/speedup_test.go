@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"mahjong/internal/pta"
+	"mahjong/internal/synth"
+)
+
+// TestParallelSpeedupSmoke is the CI floor on the sharded solver: with
+// real parallelism available, the parallel configuration must not be
+// slower than the sequential one on the largest benchmark program. The
+// test is gated on GOMAXPROCS >= 2 — on a single processor the phases
+// add coordination without adding parallelism, and "parallel is not
+// slower" is simply not a property the engine promises there.
+//
+// Both sides take the best of three runs (minimum wall-clock, the
+// noise-robust statistic) and the parallel side gets 25% slack, so a
+// loaded CI machine does not flake the floor.
+func TestParallelSpeedupSmoke(t *testing.T) {
+	if p := runtime.GOMAXPROCS(0); p < 2 {
+		t.Skipf("GOMAXPROCS=%d: no parallelism to measure", p)
+	}
+	prof, err := synth.ProfileByName("eclipse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := synth.Generate(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := func(opts pta.Options) time.Duration {
+		var bestD time.Duration
+		for i := 0; i < 3; i++ {
+			t0 := time.Now()
+			if _, err := pta.Solve(prog, opts); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(t0); i == 0 || d < bestD {
+				bestD = d
+			}
+		}
+		return bestD
+	}
+	seq := best(pta.Options{})
+	par := best(pta.Options{Parallel: -1, Renumber: true})
+	t.Logf("sequential %v, parallel %v (speedup %.2fx)", seq, par, float64(seq)/float64(par))
+	if par > seq+seq/4 {
+		t.Fatalf("parallel solve %v is slower than sequential %v beyond the 25%% slack", par, seq)
+	}
+}

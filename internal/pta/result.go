@@ -8,14 +8,20 @@ import (
 )
 
 // CSObjs returns all context-sensitive objects, indexed by their IDs
-// (the bit positions of points-to sets).
+// (the bit positions of points-to sets). Under Options.Renumber the
+// slice may contain nil holes — reserved class-block slots no object
+// was ever interned into; points-to bits only ever reference non-nil
+// entries, so consumers that dereference at set bits are unaffected,
+// but a full scan must skip nils.
 func (r *Result) CSObjs() []*CSObj { return r.solver.csobjs }
 
 // Objs returns the abstract objects the heap model created during the run.
 func (r *Result) Objs() []*Obj { return r.solver.opts.Heap.Objs() }
 
-// NumCSObjs returns the number of context-sensitive objects.
-func (r *Result) NumCSObjs() int { return len(r.solver.csobjs) }
+// NumCSObjs returns the number of context-sensitive objects interned
+// during the run (the non-nil CSObjs entries — not the slice length,
+// which under Options.Renumber includes reserved holes).
+func (r *Result) NumCSObjs() int { return r.solver.numCSObjs }
 
 // NumNodes returns the number of pointer nodes in the flow graph.
 func (r *Result) NumNodes() int { return len(r.solver.nodes) }

@@ -58,11 +58,37 @@ type Options struct {
 	Meter *budget.Meter
 
 	// NoOpt disables the solver's semantics-preserving optimizations
-	// (copy-cycle collapsing and class-indexed filter masks) and falls
-	// back to the naive propagation strategy. Results are identical,
-	// only slower; the flag exists for A/B equivalence tests and
-	// ablation benchmarks.
+	// (copy-cycle collapsing, class-indexed filter masks, object
+	// renumbering, and the parallel engine) and falls back to the naive
+	// propagation strategy. Results are identical, only slower; the
+	// flag exists for A/B equivalence tests and ablation benchmarks.
 	NoOpt bool
+
+	// Parallel selects the sharded parallel propagation engine: 0 or 1
+	// runs the sequential solver, n >= 2 runs n propagation workers,
+	// and any negative value means one worker per GOMAXPROCS. The
+	// engine alternates sequential graph-growth steps (statement
+	// processing, edge insertion, cycle collapsing) with parallel
+	// propagation phases over a sharded snapshot of the constraint
+	// graph; see docs/PARALLEL.md. Results are equivalent to the
+	// sequential solver up to object/node numbering. NoOpt forces the
+	// sequential path.
+	Parallel int
+
+	// Renumber lays out CSObj IDs class-contiguously (class-hierarchy
+	// pre-order with one reserved ID block per class) instead of in
+	// interning order, densifying points-to bitsets and turning
+	// non-interface class filters into [lo,hi) word-range
+	// intersections. Semantics-preserving: only IDs change, and every
+	// Result accessor reports stable site/label-based views. Ignored
+	// under NoOpt.
+	Renumber bool
+
+	// parThreshold is the minimum sequential worklist length that
+	// triggers a parallel propagation phase; 0 selects the engine
+	// default. Package-private: a test knob to force phase churn on
+	// small synthetic programs.
+	parThreshold int
 
 	// Trace, when enabled, records a "pta.solve" span for the run (with
 	// per-pass "pta.collapse" child spans) carrying the Stats counters
@@ -176,10 +202,13 @@ type castSite struct {
 // class: the set of CSObj IDs whose runtime type is a subtype. It is
 // extended incrementally as csObj interns new objects, so each object
 // pays one SubtypeOf test per distinct filter class instead of one per
-// filtered propagation.
+// filtered propagation. upTo indexes s.internLog, not the csobjs slice:
+// under renumbering, objects intern into reserved slots out of ID
+// order, so "which objects are new since last time" is a question about
+// the interning log, not about the tail of the ID space.
 type classMask struct {
 	set  bitset.Set
-	upTo int // csobjs indexed so far
+	upTo int // internLog entries indexed so far
 }
 
 // Solver runs the analysis. Create one per run via Solve.
@@ -195,8 +224,21 @@ type solver struct {
 	staticNodes map[*lang.Field]int
 	varIndex    map[*lang.Var][]int // all context variants of a variable
 
+	// csobjs maps CSObj ID -> object. Without renumbering it is dense
+	// (IDs are interning order); with renumbering it may carry nil
+	// holes for reserved-but-never-interned slots, so iterate via
+	// internLog or points-to bits, never by scanning the slice.
 	csobjs    []*CSObj
 	objCtxIdx map[ctxObjKey]int
+	// internLog records CSObj IDs in interning order — the solver's
+	// own discovery order, which renumbering divorces from ID order.
+	// Mask extension and equivalence tests iterate it.
+	internLog []int32
+	numCSObjs int // interned objects (== non-nil csobjs entries)
+	tailObjs  int // objects past the reserved region; >0 disables range filters
+
+	ren *renumbering // nil unless Options.Renumber is in effect
+	par *parEngine   // nil unless Options.Parallel selects >= 2 workers
 
 	reachable  map[csMethodKey]bool
 	reachList  []csMethodKey
@@ -334,6 +376,24 @@ func SolveContext(ctx context.Context, prog *lang.Program, opts Options) (res *R
 		s.ctx = ctx
 	}
 	s.meter = opts.Meter
+	if opts.Renumber && !opts.NoOpt {
+		// The renumbering layout must exist before any object interns —
+		// including warm-seeded ones — so it runs ahead of opts.seed.
+		rsp := sp.Ctx().Start(faultinject.StageRenumber)
+		defer rsp.CloseAborted() // no-op on the normal path; closes the span if the seam panics
+		if err := faultinject.Fire(faultinject.StageRenumber); err != nil {
+			rsp.Close(err)
+			return nil, fmt.Errorf("pta: renumbering failed: %w", err)
+		}
+		s.ren = buildRenumbering(prog, opts.Heap)
+		s.csobjs = make([]*CSObj, s.ren.reserved)
+		rsp.Add("reserved_slots", int64(s.ren.reserved))
+		rsp.Add("span_classes", int64(len(s.ren.spans)))
+		rsp.End()
+	}
+	if workers := normalizeWorkers(opts.Parallel); workers >= 2 && !opts.NoOpt {
+		s.par = newParEngine(s, workers, opts.parThreshold)
+	}
 	start := time.Now()
 	if opts.Budget.Time > 0 {
 		s.deadline = start.Add(opts.Budget.Time)
@@ -384,6 +444,16 @@ func (s *solver) recordSpan(sp trace.Span) {
 	sp.Add("filter_mask_hits", st.FilterMaskHits)
 	sp.Add("worklist_peak", int64(s.worklist.peak))
 	sp.Add("work", s.work)
+	if s.ren != nil {
+		sp.Add("range_filter_hits", st.RangeFilterHits)
+		sp.Add("tail_objects", int64(s.tailObjs))
+	}
+	if s.par != nil {
+		sp.Add("shard_workers", int64(st.ShardWorkers))
+		sp.Add("shard_phases", int64(st.ShardPhases))
+		sp.Add("cross_shard_deltas", st.CrossShardDeltas)
+		sp.Add("termination_epochs", int64(st.TerminationEpochs))
+	}
 }
 
 // run executes the worklist loop; aborted reports a legacy work-budget
@@ -412,6 +482,14 @@ func (s *solver) run() (aborted, cancelled, exhausted bool) {
 	for {
 		if !s.opts.NoOpt && s.newCopyEdges >= s.sccTrigger {
 			s.collapseCycles()
+		}
+		if s.par != nil && s.worklist.len() >= s.par.threshold {
+			// Enough independent propagation queued up to amortize a
+			// parallel phase: freeze the graph, fan the worklist out to
+			// the shard workers, then fold the deferred graph-growth work
+			// (var-site firing) back into this sequential loop.
+			s.par.runPhase()
+			continue
 		}
 		id, ok := s.worklist.pop()
 		if !ok {
@@ -547,12 +625,12 @@ func (s *solver) mask(filter *lang.Class) *bitset.Set {
 		s.masks[filter] = m
 		s.stats.FilterMasks++
 	}
-	for i := m.upTo; i < len(s.csobjs); i++ {
-		if s.csobjs[i].Obj.Type.SubtypeOf(filter) {
-			m.set.Add(i)
+	for _, id := range s.internLog[m.upTo:] {
+		if s.csobjs[id].Obj.Type.SubtypeOf(filter) {
+			m.set.Add(int(id))
 		}
 	}
-	m.upTo = len(s.csobjs)
+	m.upTo = len(s.internLog)
 	return &m.set
 }
 
@@ -573,6 +651,19 @@ func (s *solver) filtered(delta *bitset.Set, filter *lang.Class) *bitset.Set {
 			return true
 		})
 		return out
+	}
+	if s.ren != nil && s.tailObjs == 0 {
+		if sp, ok := s.ren.span(filter); ok {
+			// Renumbering invariant: every subtype of a non-interface,
+			// non-array filter lives in one reserved ID interval, so the
+			// filter is a word-range intersection — and when the whole
+			// delta already lies inside the range, no copy at all.
+			s.stats.RangeFilterHits++
+			if delta.OnesInRange(sp.lo, sp.hi) == delta.Len() {
+				return delta //lint:allow bitsetalias documented borrow passthrough: the delta lies entirely inside the filter's ID range, so the filtered set IS the input
+			}
+			return bitset.IntersectRangeInto(&s.scratch, delta, sp.lo, sp.hi)
+		}
 	}
 	s.stats.FilterMaskHits++
 	return bitset.IntersectInto(&s.scratch, delta, s.mask(filter))
@@ -616,14 +707,37 @@ func (s *solver) staticNode(f *lang.Field) int {
 	return id
 }
 
-// csObj interns the (heap context, object) pair.
+// csObj interns the (heap context, object) pair. Under renumbering a
+// context-insensitive object takes the next free slot of its class's
+// reserved ID block; context-sensitive objects (and block overflow from
+// a foreign heap model) take dynamic tail IDs past the reserved region,
+// which disables the range-filter fast path but never affects
+// correctness.
 func (s *solver) csObj(ctx *Context, o *Obj) int {
 	k := ctxObjKey{ctx, o}
 	if id, ok := s.objCtxIdx[k]; ok {
 		return id
 	}
-	id := len(s.csobjs)
-	s.csobjs = append(s.csobjs, &CSObj{ID: id, Ctx: ctx, Obj: o})
+	id := -1
+	if s.ren != nil {
+		if ctx == s.emptyHeap {
+			if blk := s.ren.blocks[o.Type]; blk != nil && blk.next < blk.hi {
+				id = blk.next
+				blk.next++
+			}
+		}
+		if id < 0 {
+			id = len(s.csobjs)
+			s.csobjs = append(s.csobjs, nil)
+			s.tailObjs++
+		}
+		s.csobjs[id] = &CSObj{ID: id, Ctx: ctx, Obj: o}
+	} else {
+		id = len(s.csobjs)
+		s.csobjs = append(s.csobjs, &CSObj{ID: id, Ctx: ctx, Obj: o})
+	}
+	s.numCSObjs++
+	s.internLog = append(s.internLog, int32(id))
 	s.objCtxIdx[k] = id
 	return id
 }
@@ -720,6 +834,12 @@ func (s *solver) addEdgeIf(from, to int, filter *lang.Class, replay bool) {
 	if filter == nil {
 		s.stats.CopyEdges++
 		s.newCopyEdges++
+	} else if s.par != nil {
+		// The parallel engine pre-extends every filter's mask before a
+		// phase (workers read masks but never build them), so each
+		// distinct filter class must be on record the moment its first
+		// edge exists.
+		s.par.trackFilter(filter)
 	}
 	if replay && !n.pts.IsEmpty() {
 		s.addPts(to, s.filtered(&n.pts, filter))

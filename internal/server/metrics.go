@@ -25,6 +25,8 @@ import (
 // without listing it here fails `make lint`.
 var knownStages = []string{
 	faultinject.StageSolve,
+	faultinject.StageShardSolve,
+	faultinject.StageRenumber,
 	faultinject.StageCollapse,
 	faultinject.StageFPG,
 	faultinject.StageModel,

@@ -70,6 +70,18 @@ type Config struct {
 	// QueryBudget caps the propagation work of the demand solve behind
 	// POST /jobs/{id}/query; 0 = 200k units, negative = unlimited.
 	QueryBudget int64
+	// SolverWorkers parallelizes each job's points-to solves (the
+	// pre-analysis and the main analysis) across sharded worker
+	// goroutines: 0 or 1 keep the sequential solver, N >= 2 uses N
+	// workers per solve, negative = GOMAXPROCS. Job results are
+	// identical for every setting; see docs/PARALLEL.md. Note the pool
+	// multiplies: Workers jobs in flight each spawn their own solver
+	// shards.
+	SolverWorkers int
+	// Renumber lays each solve's objects out contiguously by class so
+	// type-filtered propagation becomes a word-range intersection. Job
+	// results are identical.
+	Renumber bool
 }
 
 // maxTimeoutMS caps timeout_ms at 24 hours: beyond that a "timeout" is
@@ -545,10 +557,12 @@ func (s *Server) execute(ctx context.Context, j *job) error {
 	degrade := s.degradeEnabled(j.spec)
 	resources := s.budgetFor(j.spec)
 	cfg := mahjong.Config{
-		Analysis:   j.spec.Analysis,
-		Heap:       mahjong.HeapKind(defaulted(j.spec.Heap, string(mahjong.HeapMahjong))),
-		BudgetWork: j.spec.BudgetWork,
-		Resources:  resources,
+		Analysis:      j.spec.Analysis,
+		Heap:          mahjong.HeapKind(defaulted(j.spec.Heap, string(mahjong.HeapMahjong))),
+		BudgetWork:    j.spec.BudgetWork,
+		Resources:     resources,
+		SolverWorkers: s.cfg.SolverWorkers,
+		Renumber:      s.cfg.Renumber,
 	}
 	rep, err := s.runAttempt(ctx, j, prog, cfg, resources)
 	if err != nil && degrade && degradable(err) && cfg.Heap == mahjong.HeapMahjong {
@@ -650,8 +664,10 @@ func (s *Server) abstractionFor(ctx context.Context, j *job, prog *mahjong.Progr
 				}
 			}
 			abs, next, out, err := mahjong.BuildAbstractionDelta(ctx, prog, mahjong.AbstractionOptions{
-				Resources: resources,
-				Trace:     tc,
+				Resources:     resources,
+				Trace:         tc,
+				SolverWorkers: s.cfg.SolverWorkers,
+				Renumber:      s.cfg.Renumber,
 			}, base)
 			if err != nil {
 				return nil, err

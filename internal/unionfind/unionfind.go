@@ -6,12 +6,20 @@
 // constant (inverse Ackermann), which §5 of the paper relies on.
 package unionfind
 
+import "sync/atomic"
+
 // Forest is a disjoint-set forest over the integers [0, n).
 // The zero value is an empty forest; use New or Grow to add elements.
+//
+// Concurrency: the heap modeler's merge workers call Union from
+// multiple goroutines on provably disjoint trees (merging never crosses
+// type groups), which keeps the parent/rank element writes race-free by
+// partition. The set counter is the one piece of state those disjoint
+// unions share, so it alone is atomic.
 type Forest struct {
 	parent []int32
 	rank   []int8
-	sets   int
+	sets   atomic.Int64
 }
 
 // New returns a forest of n singleton sets {0}, {1}, …, {n-1}.
@@ -19,8 +27,8 @@ func New(n int) *Forest {
 	f := &Forest{
 		parent: make([]int32, n),
 		rank:   make([]int8, n),
-		sets:   n,
 	}
+	f.sets.Store(int64(n))
 	for i := range f.parent {
 		f.parent[i] = int32(i)
 	}
@@ -39,14 +47,14 @@ func (f *Forest) Grow(n int) {
 	for i := old; i < n; i++ {
 		f.parent[i] = int32(i)
 	}
-	f.sets += n - old
+	f.sets.Add(int64(n - old))
 }
 
 // Len returns the number of elements in the forest.
 func (f *Forest) Len() int { return len(f.parent) }
 
 // Sets returns the current number of disjoint sets.
-func (f *Forest) Sets() int { return f.sets }
+func (f *Forest) Sets() int { return int(f.sets.Load()) }
 
 // Find returns the representative of the set containing x,
 // compressing the path from x to the root.
@@ -75,7 +83,7 @@ func (f *Forest) Union(x, y int) bool {
 	if f.rank[rx] == f.rank[ry] {
 		f.rank[rx]++
 	}
-	f.sets--
+	f.sets.Add(-1)
 	return true
 }
 
@@ -85,7 +93,7 @@ func (f *Forest) Same(x, y int) bool { return f.Find(x) == f.Find(y) }
 // Classes returns the members of every set with at least one element,
 // keyed by representative. Members appear in ascending order.
 func (f *Forest) Classes() map[int][]int {
-	out := make(map[int][]int, f.sets)
+	out := make(map[int][]int, f.sets.Load())
 	for x := range f.parent {
 		r := f.Find(x)
 		out[r] = append(out[r], x)
