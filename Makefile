@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint serve race clean bench bench-save deltacheck slowcheck faultmatrix fuzz-smoke trace-smoke cover
+.PHONY: build test lint serve race clean bench bench-save bench-server bench-server-save deltacheck slowcheck faultmatrix fuzz-smoke trace-smoke cover
 
 # Total-statement coverage floor over ./internal/... — the seed baseline
 # (88.8% at the time of recording) minus slack for environment noise.
@@ -38,6 +38,19 @@ bench-save: ## record solver benchmark numbers in BENCH_solver.json + BENCH_incr
 	$(GO) test -run '^$$' -bench 'IncrementalOneMethodEdit' -benchtime=3x . \
 		| $(GO) run ./cmd/benchjson -o BENCH_incremental.json
 	@echo wrote BENCH_incremental.json
+
+# SLO-gated overload smoke: an in-process mahjongd under an open-loop
+# mixed workload at 0.5x/1x/2x measured capacity. Fails when interactive
+# p99 blows the bound, interactive goodput at 2x drops below 80% of its
+# 1x value, any accepted job wedges, or 2x overload never triggers
+# admission control / shedding / auto-degradation (docs/ROBUSTNESS.md).
+bench-server: ## overload load-harness smoke with SLO gates
+	$(GO) run ./cmd/mahjongbench -levels 0.5,1,2 -duration 3s -calibrate 1s -slo
+
+bench-server-save: ## record server load numbers in BENCH_server.json
+	$(GO) run ./cmd/mahjongbench -levels 0.5,1,2 -duration 5s -calibrate 2s \
+		| $(GO) run ./cmd/benchjson -o BENCH_server.json
+	@echo wrote BENCH_server.json
 
 deltacheck: ## warm-vs-cold equivalence sweep for the incremental engine (docs/INCREMENTAL.md)
 	$(GO) test -count=1 -run 'TestIncrementalFacade' .

@@ -18,17 +18,48 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"mahjong"
+	"mahjong/internal/sched"
 	"mahjong/internal/server"
 )
+
+// parseClassQuotas parses "interactive=4,incremental=2,batch=1" (any
+// subset, any order) into the per-class quota array.
+func parseClassQuotas(s string) ([sched.NumClasses]int, error) {
+	var quotas [sched.NumClasses]int
+	if s == "" {
+		return quotas, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return quotas, fmt.Errorf("malformed pair %q (want class=N)", pair)
+		}
+		class, ok := sched.ParseClass(strings.TrimSpace(name))
+		if !ok {
+			return quotas, fmt.Errorf("unknown class %q (want interactive, incremental or batch)", name)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || n < 0 {
+			return quotas, fmt.Errorf("invalid quota %q for class %s (want a non-negative integer)", val, class)
+		}
+		quotas[class] = n
+	}
+	return quotas, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 2, "analysis worker pool size")
-	queue := flag.Int("queue", 64, "max jobs waiting for a worker (full queue rejects with 503)")
+	queueDepth := flag.Int("queue-depth", 64, "max jobs waiting for a worker (full queue rejects with 429 + Retry-After)")
+	admission := flag.Bool("admission", true, "reject jobs whose estimated queue wait already exceeds their deadline (429 + Retry-After)")
+	classQuotas := flag.String("class-quotas", "", "per-class concurrency caps as name=N pairs, e.g. interactive=4,batch=1 (0 or absent = uncapped)")
+	autodegradeWait := flag.Duration("autodegrade-wait", 0, "queue-wait threshold above which new batch jobs auto-degrade to the alloc-site abstraction (0 = off)")
 	cacheEntries := flag.Int("cache", 64, "abstraction cache capacity in programs (-1 = unbounded)")
 	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "default per-job deadline (0 = none)")
 	shutdownGrace := flag.Duration("shutdown-grace", 5*time.Second, "how long shutdown waits for in-flight jobs before cancelling them (negative = forever)")
@@ -51,9 +82,18 @@ func main() {
 		return
 	}
 
+	quotas, err := parseClassQuotas(*classQuotas)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mahjongd: -class-quotas:", err)
+		os.Exit(2)
+	}
+
 	srv := server.New(server.Config{
 		Workers:         *workers,
-		QueueDepth:      *queue,
+		QueueDepth:      *queueDepth,
+		NoAdmission:     !*admission,
+		ClassQuotas:     quotas,
+		AutodegradeWait: *autodegradeWait,
 		DefaultTimeout:  *jobTimeout,
 		CacheEntries:    *cacheEntries,
 		ShutdownGrace:   *shutdownGrace,

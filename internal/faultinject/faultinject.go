@@ -69,6 +69,16 @@ const (
 	// StageRenumber fires before the class-contiguous object renumbering
 	// pass that lays out reserved per-class CSObj ID ranges.
 	StageRenumber = "pta.renumber"
+	// StageAdmit fires during admission control on POST /jobs, after
+	// validation but before the job is enqueued. A fault here rejects
+	// the submission (retriable 503) without creating queue state; it
+	// must never wedge the intake path.
+	StageAdmit = "server.admit"
+	// StageQueue fires when a worker dequeues a job, before the job
+	// pipeline (StageJob) runs — the seam for faults in the scheduler
+	// hand-off itself. A fault fails that one job; the worker and the
+	// queue survive.
+	StageQueue = "server.queue"
 )
 
 // Hook decides what happens at a seam: return nil to proceed, an error

@@ -1,0 +1,399 @@
+// Package sched is mahjongd's overload-resilience core: a bounded,
+// class-aware priority queue with per-class concurrency quotas,
+// deadline-aware shedding, and the service-time bookkeeping admission
+// control needs.
+//
+// Jobs are classified into three priority classes — Interactive
+// (latency-sensitive submissions), Incremental (base_job_id resubmits,
+// which are cheap when their retained state is warm), and Batch
+// (throughput work) — and dequeued in that order. Two mechanisms keep
+// one class from starving the others:
+//
+//   - quotas: each class may cap its concurrent in-flight jobs. A class
+//     at its quota yields the worker to the next priority class with
+//     pending work, so a flood of interactive jobs cannot occupy every
+//     worker while batch work ages out.
+//   - work conservation: when every pending class sits at its quota and
+//     a worker is free anyway, the highest-priority pending item runs.
+//     Quotas bound contention; they never idle a worker while any work
+//     is queued.
+//
+// The queue owns the two clocks overload control runs on:
+//
+//   - per-class EWMA of service times (fed by Done), from which
+//     EstimatedWait predicts how long a newly admitted job of a class
+//     would sit in the queue — the admission controller rejects jobs
+//     whose estimate already exceeds their deadline, and the
+//     degradation ladder downgrades batch jobs above a wait threshold;
+//   - per-item deadline timers: a job whose deadline expires while
+//     still queued is removed and reported through Config.OnExpire
+//     without ever reaching a worker (shedding), so queue wait cannot
+//     silently convert into wasted solver time.
+//
+// The queue is deliberately job-agnostic (items carry an opaque
+// Payload): the same scheduler fronts the local worker pool today and a
+// sharded transport later (ROADMAP item 2).
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Class is a job's scheduling class; lower values dequeue first.
+type Class uint8
+
+const (
+	// Interactive jobs are latency-sensitive: humans or tools blocking
+	// on the answer. Highest priority.
+	Interactive Class = iota
+	// Incremental jobs name a base_job_id: resubmits that warm-start
+	// from retained state and are usually cheap.
+	Incremental
+	// Batch jobs are throughput work: lowest priority, and the first
+	// rung of the degradation ladder under queue pressure.
+	Batch
+	// NumClasses bounds the Class values; per-class arrays index by it.
+	NumClasses = 3
+)
+
+// String returns the wire name of the class ("interactive",
+// "incremental", "batch").
+func (c Class) String() string {
+	switch c {
+	case Interactive:
+		return "interactive"
+	case Incremental:
+		return "incremental"
+	case Batch:
+		return "batch"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// ParseClass maps a wire name to its Class.
+func ParseClass(s string) (Class, bool) {
+	switch s {
+	case "interactive":
+		return Interactive, true
+	case "incremental":
+		return Incremental, true
+	case "batch":
+		return Batch, true
+	}
+	return 0, false
+}
+
+// ClassNames lists the wire names in priority order, for flags, metrics
+// labels and docs.
+func ClassNames() [NumClasses]string {
+	return [NumClasses]string{Interactive.String(), Incremental.String(), Batch.String()}
+}
+
+var (
+	// ErrFull rejects a Push when the queue holds Capacity pending items.
+	ErrFull = errors.New("sched: queue full")
+	// ErrClosed rejects a Push after Close.
+	ErrClosed = errors.New("sched: queue closed")
+)
+
+type itemState uint8
+
+const (
+	itemPending itemState = iota
+	itemPopped
+	itemRemoved
+)
+
+// Item is one queued unit of work. Class, Deadline and Payload are set
+// by the caller before Push; Enqueued is stamped by Push. An Item must
+// not be reused after it leaves the queue.
+type Item struct {
+	Class    Class
+	Deadline time.Time // zero = no deadline (never shed)
+	Enqueued time.Time
+	Payload  any
+
+	state itemState
+	timer *time.Timer
+}
+
+// Config tunes a Queue.
+type Config struct {
+	// Capacity bounds pending (not in-flight) items; Push returns
+	// ErrFull beyond it. 0 = 64.
+	Capacity int
+	// Workers is the consumer-pool size, the divisor of EstimatedWait.
+	// 0 = 1.
+	Workers int
+	// Quotas caps concurrent in-flight items per class while other
+	// classes have pending work; 0 = uncapped. See the package comment
+	// for the work-conservation rule.
+	Quotas [NumClasses]int
+	// OnExpire is called — without the queue lock — when an item's
+	// deadline expires while it is still pending. The item has already
+	// been removed and its slot released. nil disables shed timers.
+	OnExpire func(*Item)
+}
+
+// Queue is the bounded class-priority queue. All methods are safe for
+// concurrent use.
+type Queue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	cfg      Config
+	pending  [NumClasses][]*Item // FIFO per class; removed items are skipped lazily
+	depth    [NumClasses]int     // live pending count per class
+	size     int                 // sum of depth
+	inflight [NumClasses]int
+	// ewmaNS tracks recent service time per class; anyNS is the
+	// cross-class fallback for a class that has not completed anything
+	// yet.
+	ewmaNS [NumClasses]float64
+	anyNS  float64
+	closed bool
+}
+
+// New returns an empty queue.
+func New(cfg Config) *Queue {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	q := &Queue{cfg: cfg}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues it, arming a shed timer when the item carries a
+// deadline. ErrFull when Capacity pending items exist, ErrClosed after
+// Close.
+func (q *Queue) Push(it *Item) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return ErrClosed
+	}
+	if q.size >= q.cfg.Capacity {
+		q.mu.Unlock()
+		return ErrFull
+	}
+	it.state = itemPending
+	it.Enqueued = time.Now()
+	q.pending[it.Class] = append(q.pending[it.Class], it)
+	q.depth[it.Class]++
+	q.size++
+	if !it.Deadline.IsZero() && q.cfg.OnExpire != nil {
+		it.timer = time.AfterFunc(time.Until(it.Deadline), func() { q.expire(it) })
+	}
+	q.mu.Unlock()
+	q.cond.Signal()
+	return nil
+}
+
+// expire is the shed timer callback: if the item is still pending its
+// slot is released and OnExpire fires.
+func (q *Queue) expire(it *Item) {
+	q.mu.Lock()
+	if it.state != itemPending {
+		q.mu.Unlock()
+		return
+	}
+	it.state = itemRemoved
+	q.depth[it.Class]--
+	q.size--
+	q.mu.Unlock()
+	q.cfg.OnExpire(it)
+}
+
+// Pop blocks until an item is eligible under the quota policy, or the
+// queue is closed (ok=false; the worker should exit). The popped item's
+// class holds an in-flight slot until Done releases it.
+func (q *Queue) Pop() (it *Item, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if it := q.selectLocked(); it != nil {
+			it.state = itemPopped
+			if it.timer != nil {
+				it.timer.Stop()
+				it.timer = nil
+			}
+			q.depth[it.Class]--
+			q.size--
+			q.inflight[it.Class]++
+			return it, true
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// selectLocked picks the next item: classes in priority order, the
+// first with pending work and in-flight below quota wins; when every
+// pending class is at quota, the highest-priority pending item runs
+// anyway (work conservation — a free worker never idles over a quota).
+func (q *Queue) selectLocked() *Item {
+	var fallback Class
+	haveFallback := false
+	for c := Class(0); c < NumClasses; c++ {
+		if q.frontLocked(c) == nil {
+			continue
+		}
+		if quota := q.cfg.Quotas[c]; quota <= 0 || q.inflight[c] < quota {
+			return q.popFrontLocked(c)
+		}
+		if !haveFallback {
+			fallback, haveFallback = c, true
+		}
+	}
+	if haveFallback {
+		return q.popFrontLocked(fallback)
+	}
+	return nil
+}
+
+// frontLocked returns class c's oldest pending item, compacting
+// lazily-removed entries off the front.
+func (q *Queue) frontLocked(c Class) *Item {
+	for len(q.pending[c]) > 0 {
+		it := q.pending[c][0]
+		if it.state == itemPending {
+			return it
+		}
+		q.pending[c][0] = nil
+		q.pending[c] = q.pending[c][1:]
+	}
+	return nil
+}
+
+// popFrontLocked removes and returns the front item; the caller has
+// established via frontLocked that it exists and is pending.
+func (q *Queue) popFrontLocked(c Class) *Item {
+	it := q.pending[c][0]
+	q.pending[c][0] = nil
+	q.pending[c] = q.pending[c][1:]
+	return it
+}
+
+// Done releases the in-flight slot a Pop of class c acquired and folds
+// the observed service time into the class EWMA (α = 0.3: reactive
+// enough to track load shifts, smooth enough not to chase one outlier).
+func (q *Queue) Done(c Class, service time.Duration) {
+	const alpha = 0.3
+	ns := float64(service.Nanoseconds())
+	q.mu.Lock()
+	if q.inflight[c] > 0 {
+		q.inflight[c]--
+	}
+	if q.ewmaNS[c] == 0 {
+		q.ewmaNS[c] = ns
+	} else {
+		q.ewmaNS[c] = alpha*ns + (1-alpha)*q.ewmaNS[c]
+	}
+	if q.anyNS == 0 {
+		q.anyNS = ns
+	} else {
+		q.anyNS = alpha*ns + (1-alpha)*q.anyNS
+	}
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// Remove drops a still-pending item (client cancellation), releasing
+// its queue slot immediately. Reports whether the item was pending —
+// false means a worker already popped it (or it was shed/drained) and
+// the caller must not treat it as queued.
+func (q *Queue) Remove(it *Item) bool {
+	if it == nil {
+		return false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if it.state != itemPending {
+		return false
+	}
+	it.state = itemRemoved
+	if it.timer != nil {
+		it.timer.Stop()
+		it.timer = nil
+	}
+	q.depth[it.Class]--
+	q.size--
+	return true
+}
+
+// Close stops intake, wakes every Pop-blocked worker (they observe
+// ok=false once nothing is eligible), and returns the items that were
+// still pending so the caller can fail them. Idempotent; later calls
+// return nil.
+func (q *Queue) Close() []*Item {
+	q.mu.Lock()
+	var drained []*Item
+	q.closed = true
+	for c := Class(0); c < NumClasses; c++ {
+		for _, it := range q.pending[c] {
+			if it != nil && it.state == itemPending {
+				it.state = itemRemoved
+				if it.timer != nil {
+					it.timer.Stop()
+					it.timer = nil
+				}
+				drained = append(drained, it)
+			}
+		}
+		q.pending[c] = nil
+		q.depth[c] = 0
+	}
+	q.size = 0
+	q.mu.Unlock()
+	q.cond.Broadcast()
+	return drained
+}
+
+// EstimatedWait predicts the queue wait of a job of class c submitted
+// now: the EWMA service time of every pending job at the same or higher
+// priority, spread across the worker pool. A class with no completed
+// samples borrows the cross-class EWMA; with no samples at all the
+// estimate is zero (admission stays open until the queue has seen
+// work).
+func (q *Queue) EstimatedWait(c Class) time.Duration {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var ns float64
+	for cc := Class(0); cc <= c && cc < NumClasses; cc++ {
+		e := q.ewmaNS[cc]
+		if e == 0 {
+			e = q.anyNS
+		}
+		ns += e * float64(q.depth[cc])
+	}
+	return time.Duration(ns / float64(q.cfg.Workers))
+}
+
+// Len returns the number of pending items.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// Depths returns the pending count per class.
+func (q *Queue) Depths() [NumClasses]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depth
+}
+
+// InFlight returns the running count per class (Popped, not yet Done).
+func (q *Queue) InFlight() [NumClasses]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.inflight
+}

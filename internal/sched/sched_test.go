@@ -1,0 +1,320 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func item(c Class) *Item { return &Item{Class: c} }
+
+// Higher-priority classes must dequeue first regardless of arrival order.
+func TestPriorityOrder(t *testing.T) {
+	q := New(Config{Capacity: 16, Workers: 1})
+	defer q.Close()
+	b, inc, ia := item(Batch), item(Incremental), item(Interactive)
+	for _, it := range []*Item{b, inc, ia} {
+		if err := q.Push(it); err != nil {
+			t.Fatalf("Push: %v", err)
+		}
+	}
+	want := []*Item{ia, inc, b}
+	for i, w := range want {
+		got, ok := q.Pop()
+		if !ok || got != w {
+			t.Fatalf("Pop %d: got %v ok=%v, want class %v", i, got, ok, w.Class)
+		}
+		q.Done(got.Class, time.Millisecond)
+	}
+}
+
+// FIFO within a class.
+func TestFIFOWithinClass(t *testing.T) {
+	q := New(Config{Capacity: 16, Workers: 1})
+	defer q.Close()
+	items := []*Item{item(Batch), item(Batch), item(Batch)}
+	for _, it := range items {
+		if err := q.Push(it); err != nil {
+			t.Fatalf("Push: %v", err)
+		}
+	}
+	for i, w := range items {
+		got, ok := q.Pop()
+		if !ok || got != w {
+			t.Fatalf("Pop %d out of order", i)
+		}
+	}
+}
+
+// A class at its quota yields to lower-priority pending work.
+func TestQuotaYieldsToLowerClass(t *testing.T) {
+	q := New(Config{Capacity: 16, Workers: 2, Quotas: [NumClasses]int{Interactive: 1}})
+	defer q.Close()
+	ia1, ia2, b := item(Interactive), item(Interactive), item(Batch)
+	for _, it := range []*Item{ia1, ia2, b} {
+		if err := q.Push(it); err != nil {
+			t.Fatalf("Push: %v", err)
+		}
+	}
+	got, _ := q.Pop()
+	if got != ia1 {
+		t.Fatalf("first pop: want interactive head")
+	}
+	// Interactive is now at quota (1 in flight): the batch item must win.
+	got, _ = q.Pop()
+	if got != b {
+		t.Fatalf("second pop: want batch (interactive at quota), got class %v", got.Class)
+	}
+	// Releasing the slot re-enables interactive.
+	q.Done(Interactive, time.Millisecond)
+	got, _ = q.Pop()
+	if got != ia2 {
+		t.Fatalf("third pop: want second interactive, got class %v", got.Class)
+	}
+}
+
+// When every pending class is at quota, a free worker still runs the
+// highest-priority pending item instead of idling.
+func TestWorkConservation(t *testing.T) {
+	q := New(Config{Capacity: 16, Workers: 4, Quotas: [NumClasses]int{Interactive: 1, Incremental: 1, Batch: 1}})
+	defer q.Close()
+	for _, it := range []*Item{item(Interactive), item(Interactive), item(Batch)} {
+		if err := q.Push(it); err != nil {
+			t.Fatalf("Push: %v", err)
+		}
+	}
+	first, _ := q.Pop()  // interactive, within quota
+	second, _ := q.Pop() // batch, interactive at quota
+	if first.Class != Interactive || second.Class != Batch {
+		t.Fatalf("setup pops: got %v, %v", first.Class, second.Class)
+	}
+	// Both pending classes are now at quota; the remaining interactive
+	// item must still be handed out.
+	done := make(chan *Item, 1)
+	go func() {
+		it, ok := q.Pop()
+		if ok {
+			done <- it
+		}
+	}()
+	select {
+	case it := <-done:
+		if it.Class != Interactive {
+			t.Fatalf("work-conservation pop: got class %v", it.Class)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Pop idled with pending work (work conservation broken)")
+	}
+}
+
+func TestCapacityAndClosed(t *testing.T) {
+	q := New(Config{Capacity: 2, Workers: 1})
+	if err := q.Push(item(Batch)); err != nil {
+		t.Fatalf("Push 1: %v", err)
+	}
+	if err := q.Push(item(Batch)); err != nil {
+		t.Fatalf("Push 2: %v", err)
+	}
+	if err := q.Push(item(Batch)); err != ErrFull {
+		t.Fatalf("Push over capacity: got %v, want ErrFull", err)
+	}
+	drained := q.Close()
+	if len(drained) != 2 {
+		t.Fatalf("Close drained %d, want 2", len(drained))
+	}
+	if err := q.Push(item(Batch)); err != ErrClosed {
+		t.Fatalf("Push after close: got %v, want ErrClosed", err)
+	}
+	if more := q.Close(); more != nil {
+		t.Fatalf("second Close returned %d items, want nil", len(more))
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on closed empty queue returned ok")
+	}
+}
+
+// Remove frees the slot immediately, letting a Push that was blocked on
+// capacity succeed, and a removed item is never handed to a worker.
+func TestRemoveReleasesSlot(t *testing.T) {
+	q := New(Config{Capacity: 2, Workers: 1})
+	defer q.Close()
+	victim, keep := item(Batch), item(Batch)
+	if err := q.Push(victim); err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	if err := q.Push(keep); err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	if !q.Remove(victim) {
+		t.Fatal("Remove pending item returned false")
+	}
+	if q.Remove(victim) {
+		t.Fatal("double Remove returned true")
+	}
+	if err := q.Push(item(Batch)); err != nil {
+		t.Fatalf("Push after Remove should fit: %v", err)
+	}
+	got, ok := q.Pop()
+	if !ok || got == victim {
+		t.Fatal("Pop handed out a removed item")
+	}
+	// An item already popped cannot be removed.
+	if q.Remove(got) {
+		t.Fatal("Remove of popped item returned true")
+	}
+}
+
+// A queued item whose deadline passes is shed via OnExpire, never popped.
+func TestDeadlineShed(t *testing.T) {
+	var shed atomic.Int32
+	expired := make(chan *Item, 1)
+	q := New(Config{Capacity: 4, Workers: 1, OnExpire: func(it *Item) {
+		shed.Add(1)
+		expired <- it
+	}})
+	defer q.Close()
+	doomed := &Item{Class: Batch, Deadline: time.Now().Add(20 * time.Millisecond)}
+	if err := q.Push(doomed); err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	select {
+	case it := <-expired:
+		if it != doomed {
+			t.Fatal("OnExpire got the wrong item")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("shed timer never fired")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len after shed = %d, want 0", q.Len())
+	}
+	// A popped item must NOT be shed even if its deadline passes.
+	live := &Item{Class: Batch, Deadline: time.Now().Add(30 * time.Millisecond)}
+	if err := q.Push(live); err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	if got, ok := q.Pop(); !ok || got != live {
+		t.Fatal("Pop did not return the live item")
+	}
+	time.Sleep(60 * time.Millisecond)
+	if n := shed.Load(); n != 1 {
+		t.Fatalf("shed count = %d, want 1 (popped item must not shed)", n)
+	}
+}
+
+func TestEstimatedWait(t *testing.T) {
+	q := New(Config{Capacity: 16, Workers: 2})
+	defer q.Close()
+	if w := q.EstimatedWait(Batch); w != 0 {
+		t.Fatalf("empty-history estimate = %v, want 0", w)
+	}
+	// Teach the queue ~100ms interactive service time.
+	for i := 0; i < 5; i++ {
+		q.Done(Interactive, 100*time.Millisecond)
+	}
+	for i := 0; i < 4; i++ {
+		if err := q.Push(item(Interactive)); err != nil {
+			t.Fatalf("Push: %v", err)
+		}
+	}
+	// 4 pending × ~100ms / 2 workers ≈ 200ms.
+	w := q.EstimatedWait(Interactive)
+	if w < 100*time.Millisecond || w > 400*time.Millisecond {
+		t.Fatalf("EstimatedWait(Interactive) = %v, want ~200ms", w)
+	}
+	// Batch waits behind everything at or above its priority, so its
+	// estimate includes the interactive backlog (borrowing the
+	// cross-class EWMA for its own empty class).
+	if wb := q.EstimatedWait(Batch); wb < w {
+		t.Fatalf("EstimatedWait(Batch) = %v < interactive %v", wb, w)
+	}
+	if q.EstimatedWait(Interactive) == 0 {
+		t.Fatal("estimate collapsed to zero with pending work")
+	}
+}
+
+func TestDepthsAndInFlight(t *testing.T) {
+	q := New(Config{Capacity: 16, Workers: 2})
+	defer q.Close()
+	q.Push(item(Interactive))
+	q.Push(item(Batch))
+	q.Push(item(Batch))
+	if d := q.Depths(); d[Interactive] != 1 || d[Batch] != 2 {
+		t.Fatalf("Depths = %v", d)
+	}
+	it, _ := q.Pop()
+	if f := q.InFlight(); f[it.Class] != 1 {
+		t.Fatalf("InFlight = %v after pop of %v", f, it.Class)
+	}
+	q.Done(it.Class, time.Millisecond)
+	if f := q.InFlight(); f[it.Class] != 0 {
+		t.Fatalf("InFlight = %v after Done", f)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+}
+
+// Hammer the queue from many goroutines; every pushed item must be
+// popped exactly once and the final counts must balance. Run with
+// -race.
+func TestConcurrentStress(t *testing.T) {
+	q := New(Config{Capacity: 1024, Workers: 4, Quotas: [NumClasses]int{Interactive: 2, Batch: 2}})
+	const producers, perProducer = 8, 50
+	var popped atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				it, ok := q.Pop()
+				if !ok {
+					return
+				}
+				popped.Add(1)
+				q.Done(it.Class, time.Microsecond)
+			}
+		}()
+	}
+	var pushed atomic.Int64
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := q.Push(item(Class(i % NumClasses))); err == nil {
+					pushed.Add(1)
+				}
+			}
+		}(p)
+	}
+	pwg.Wait()
+	// Wait for drain, then close to release the workers.
+	deadline := time.Now().Add(5 * time.Second)
+	for q.Len() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	drained := q.Close()
+	wg.Wait()
+	if got := popped.Load() + int64(len(drained)); got != pushed.Load() {
+		t.Fatalf("popped+drained = %d, pushed = %d", got, pushed.Load())
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	for _, name := range ClassNames() {
+		c, ok := ParseClass(name)
+		if !ok || c.String() != name {
+			t.Fatalf("ParseClass(%q) round-trip failed", name)
+		}
+	}
+	if _, ok := ParseClass("nope"); ok {
+		t.Fatal("ParseClass accepted garbage")
+	}
+	if _, ok := ParseClass(""); ok {
+		t.Fatal("ParseClass accepted empty string")
+	}
+}

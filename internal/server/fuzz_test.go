@@ -40,6 +40,10 @@ func FuzzSubmit(f *testing.F) {
 	f.Add(`[]`)
 	f.Add(`{}`)
 	f.Add("\x00\xff\xfe")
+	f.Add(`{"class": "batch", "benchmark": "pmd"}`)
+	f.Add(`{"class": "incremental", "ir": "entry Main.main/0"}`)
+	f.Add(`{"class": "platinum", "benchmark": "pmd"}`)
+	f.Add(`{"class": "", "timeout_ms": 1, "benchmark": "pmd"}`)
 
 	// One shared server for the whole run: a tiny body cap so oversized
 	// inputs exercise 413, a short default deadline and a small budget
@@ -78,10 +82,18 @@ func FuzzSubmit(f *testing.F) {
 		case resp.StatusCode >= 400 && resp.StatusCode < 500:
 			// Rejections carry a JSON error message.
 			var e struct {
-				Error string `json:"error"`
+				Error     string `json:"error"`
+				Retriable bool   `json:"retriable"`
 			}
 			if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
 				t.Fatalf("status %d without a descriptive error body: %q", resp.StatusCode, data)
+			}
+			// Overload rejections (admission or a full queue) must tell
+			// the client when and whether to come back.
+			if resp.StatusCode == http.StatusTooManyRequests {
+				if resp.Header.Get("Retry-After") == "" || !e.Retriable {
+					t.Fatalf("429 without Retry-After/retriable: %q", data)
+				}
 			}
 		case resp.StatusCode == http.StatusServiceUnavailable:
 			// Queue full under fuzz load: fine, but must be retriable.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mahjong"
+	"mahjong/internal/sched"
 	"mahjong/internal/trace"
 )
 
@@ -61,6 +62,11 @@ type JobSpec struct {
 	// built a Mahjong abstraction — the build silently falls back to
 	// from-scratch and records the reason in the job view.
 	BaseJobID string `json:"base_job_id,omitempty"`
+	// Class selects the scheduling class: "interactive" (default),
+	// "incremental" (the default when base_job_id is set), or "batch".
+	// Interactive dequeues before incremental before batch; batch is the
+	// first class auto-degraded under queue pressure (docs/ROBUSTNESS.md).
+	Class string `json:"class,omitempty"`
 }
 
 // job is one submission. The mutex guards the mutable state; results
@@ -70,6 +76,17 @@ type job struct {
 	id      string
 	spec    JobSpec
 	created time.Time
+	// class is the resolved scheduling class; deadline the absolute
+	// per-job deadline computed at submission (zero = none). Both are
+	// fixed before the job is enqueued.
+	class    sched.Class
+	deadline time.Time
+	// qitem is the job's scheduler entry, kept so cancellation can
+	// release the queue slot immediately instead of at dequeue.
+	qitem *sched.Item
+	// autoDegraded marks a batch job the admission controller downgraded
+	// to the alloc-site abstraction before it ran (degradation ladder).
+	autoDegraded bool
 
 	mu       sync.Mutex
 	state    JobState
@@ -104,6 +121,14 @@ type job struct {
 	// degraded job carries the failed Mahjong attempt and the alloc-site
 	// re-run side by side.
 	traces []*trace.Trace
+	// qspan is the open server.queue span covering the job's wait for a
+	// worker; queueTrace is its snapshot, taken exactly once (qspan nils
+	// out) whichever end the wait finds first — dequeue, shed, cancel, or
+	// shutdown drain. It is served as a separate field of /jobs/{id}/trace
+	// so attempt traces keep their root-is-server.job shape.
+	qtr        *trace.Tracer
+	qspan      trace.Span
+	queueTrace *trace.Trace
 }
 
 // addTrace appends one attempt's snapshotted span tree.
@@ -121,6 +146,35 @@ func (j *job) traceSnapshots() []*trace.Trace {
 	return append([]*trace.Trace(nil), j.traces...)
 }
 
+// closeQueueSpan ends the job's server.queue span with err's failure
+// class and snapshots it, exactly once: dequeue, shed, client cancel and
+// shutdown drain all race to be the end of the wait, and whichever gets
+// there first wins. Returns the snapshot and the measured queue wait
+// (nil, 0 on every later call).
+func (j *job) closeQueueSpan(err error) (*trace.Trace, time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.qtr == nil {
+		return nil, 0
+	}
+	j.qspan.Close(err)
+	j.queueTrace = j.qtr.Snapshot()
+	j.qtr = nil
+	var wait time.Duration
+	if j.qitem != nil && !j.qitem.Enqueued.IsZero() {
+		wait = time.Since(j.qitem.Enqueued)
+	}
+	return j.queueTrace, wait
+}
+
+// queueTraceSnapshot returns the snapshotted queue span, nil while the
+// job is still waiting.
+func (j *job) queueTraceSnapshot() *trace.Trace {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.queueTrace
+}
+
 // view is the JSON rendering of a job's status.
 type view struct {
 	ID        string   `json:"id"`
@@ -129,8 +183,11 @@ type view struct {
 	Benchmark string   `json:"benchmark,omitempty"`
 	Analysis  string   `json:"analysis"`
 	Heap      string   `json:"heap"`
-	CacheHit  bool     `json:"abstraction_cache_hit"`
-	Degraded  bool     `json:"degraded,omitempty"`
+	// Class is the resolved scheduling class ("interactive",
+	// "incremental", "batch").
+	Class    string `json:"class"`
+	CacheHit bool   `json:"abstraction_cache_hit"`
+	Degraded bool   `json:"degraded,omitempty"`
 	// DegradedCause explains a degraded result: the error that made the
 	// job fall back to the allocation-site abstraction.
 	DegradedCause string `json:"degraded_cause,omitempty"`
@@ -176,6 +233,7 @@ func (j *job) view() view {
 		Benchmark:     j.spec.Benchmark,
 		Analysis:      defaulted(j.spec.Analysis, "ci"),
 		Heap:          defaulted(j.spec.Heap, string(mahjong.HeapMahjong)),
+		Class:         j.class.String(),
 		CacheHit:      j.cacheHit,
 		Degraded:      j.degraded,
 		DegradedCause: j.degradedCause,
@@ -243,16 +301,18 @@ func newJobStore() *jobStore {
 	return &jobStore{byID: make(map[string]*job)}
 }
 
-func (s *jobStore) add(spec JobSpec, prog *mahjong.Program) *job {
+func (s *jobStore) add(spec JobSpec, prog *mahjong.Program, class sched.Class, deadline time.Time) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
 	j := &job{
-		id:      fmt.Sprintf("j%d", s.seq),
-		spec:    spec,
-		created: time.Now(),
-		state:   StateQueued,
-		prog:    prog,
+		id:       fmt.Sprintf("j%d", s.seq),
+		spec:     spec,
+		created:  time.Now(),
+		class:    class,
+		deadline: deadline,
+		state:    StateQueued,
+		prog:     prog,
 	}
 	s.byID[j.id] = j
 	s.all = append(s.all, j)

@@ -11,6 +11,7 @@ import (
 
 	"mahjong"
 	"mahjong/internal/faultinject"
+	"mahjong/internal/sched"
 	"mahjong/internal/trace"
 )
 
@@ -37,6 +38,8 @@ var knownStages = []string{
 	faultinject.StageDelta,
 	faultinject.StageSeed,
 	faultinject.StageQuery,
+	faultinject.StageAdmit,
+	faultinject.StageQueue,
 }
 
 // metrics holds the daemon's counters. All fields are atomics so that
@@ -47,9 +50,17 @@ type metrics struct {
 	jobsCompleted atomic.Int64
 	jobsFailed    atomic.Int64
 	jobsCancelled atomic.Int64
-	jobsRejected  atomic.Int64 // queue-full and shutting-down 503s
+	jobsRejected  atomic.Int64 // all rejected submissions (full + wait + closing)
 	jobsRunning   atomic.Int64
 	jobsDegraded  atomic.Int64 // jobs completed on the alloc-site fallback
+
+	// Overload-control counters (docs/ROBUSTNESS.md). jobsRejected above
+	// stays the total; these split it by cause and add the two shedding
+	// outcomes that are not rejections.
+	rejectedFull     atomic.Int64 // 429s because the queue was at capacity
+	rejectedWait     atomic.Int64 // 429s because estimated wait exceeded the deadline
+	jobsShed         atomic.Int64 // queued jobs failed by deadline expiry before running
+	jobsAutodegraded atomic.Int64 // batch jobs downgraded to alloc-site at admission
 
 	panicsRecovered  atomic.Int64 // panics converted to job failures
 	budgetExhausted  atomic.Int64 // jobs hitting a resource budget
@@ -93,6 +104,11 @@ type metrics struct {
 	// newMetrics and never mutated afterwards, so lookups are lock-free;
 	// the bucket counters themselves are atomics.
 	stageDur map[string]*durHist
+
+	// queueWait histograms the time jobs spent waiting for a worker
+	// (including jobs that were shed or cancelled while queued — those
+	// waits are exactly the signal overload dashboards need).
+	queueWait durHist
 }
 
 // newMetrics returns a metrics set with a pre-sized histogram per
@@ -103,6 +119,11 @@ func newMetrics() *metrics {
 		m.stageDur[stage] = &durHist{}
 	}
 	return m
+}
+
+// observeQueueWait records one job's time-in-queue.
+func (m *metrics) observeQueueWait(d time.Duration) {
+	m.queueWait.observe(d.Nanoseconds())
 }
 
 // histBoundsNS are the stage-duration histogram bucket upper bounds in
@@ -165,6 +186,21 @@ type StageDuration struct {
 	Buckets []int64 `json:"buckets"`
 }
 
+// snapshot renders one histogram with cumulative bucket counts,
+// Prometheus-style.
+func (h *durHist) snapshot() StageDuration {
+	var sd StageDuration
+	var cum int64
+	sd.Buckets = make([]int64, 0, len(histBoundsNS))
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		sd.Buckets = append(sd.Buckets, cum)
+	}
+	sd.Count = cum + h.inf.Load()
+	sd.SumMS = h.sumNS.Load() / int64(time.Millisecond)
+	return sd
+}
+
 // stageDurationSnapshot renders the histograms with cumulative bucket
 // counts, Prometheus-style.
 func (m *metrics) stageDurationSnapshot() map[string]StageDuration {
@@ -174,16 +210,7 @@ func (m *metrics) stageDurationSnapshot() map[string]StageDuration {
 		if h == nil {
 			continue
 		}
-		var sd StageDuration
-		var cum int64
-		sd.Buckets = make([]int64, 0, len(histBoundsNS))
-		for i := range h.buckets {
-			cum += h.buckets[i].Load()
-			sd.Buckets = append(sd.Buckets, cum)
-		}
-		sd.Count = cum + h.inf.Load()
-		sd.SumMS = h.sumNS.Load() / int64(time.Millisecond)
-		out[stage] = sd
+		out[stage] = h.snapshot()
 	}
 	return out
 }
@@ -222,6 +249,19 @@ type MetricsSnapshot struct {
 	JobsRunning   int64 `json:"jobs_running"`
 	JobsQueued    int64 `json:"jobs_queued"`
 	JobsDegraded  int64 `json:"jobs_degraded"`
+
+	// Overload control: rejection causes, shedding, auto-degradation,
+	// and the per-class queue picture (docs/ROBUSTNESS.md).
+	JobsRejectedFull int64 `json:"jobs_rejected_full"`
+	JobsRejectedWait int64 `json:"jobs_rejected_wait"`
+	JobsShed         int64 `json:"jobs_shed"`
+	JobsAutodegraded int64 `json:"jobs_autodegraded"`
+	// QueueDepthByClass / InFlightByClass gauge the scheduler per class
+	// ("interactive", "incremental", "batch").
+	QueueDepthByClass map[string]int64 `json:"queue_depth_by_class"`
+	InFlightByClass   map[string]int64 `json:"in_flight_by_class"`
+	// QueueWait histograms time-in-queue across all jobs.
+	QueueWait StageDuration `json:"queue_wait"`
 
 	PanicsRecovered int64 `json:"panics_recovered"`
 	BudgetExhausted int64 `json:"budget_exhausted"`
@@ -262,8 +302,16 @@ type MetricsSnapshot struct {
 	StageDurations map[string]StageDuration `json:"stage_durations"`
 }
 
-func (m *metrics) snapshot(queued, cacheEntries, deltaStates int) MetricsSnapshot {
+func (m *metrics) snapshot(depths, inflight [sched.NumClasses]int, cacheEntries, deltaStates int) MetricsSnapshot {
 	ms := func(ns int64) int64 { return ns / int64(time.Millisecond) }
+	queued := 0
+	depthByClass := make(map[string]int64, sched.NumClasses)
+	inflightByClass := make(map[string]int64, sched.NumClasses)
+	for c, name := range sched.ClassNames() {
+		queued += depths[c]
+		depthByClass[name] = int64(depths[c])
+		inflightByClass[name] = int64(inflight[c])
+	}
 	return MetricsSnapshot{
 		Version: mahjong.Version,
 
@@ -275,6 +323,14 @@ func (m *metrics) snapshot(queued, cacheEntries, deltaStates int) MetricsSnapsho
 		JobsRunning:   m.jobsRunning.Load(),
 		JobsQueued:    int64(queued),
 		JobsDegraded:  m.jobsDegraded.Load(),
+
+		JobsRejectedFull:  m.rejectedFull.Load(),
+		JobsRejectedWait:  m.rejectedWait.Load(),
+		JobsShed:          m.jobsShed.Load(),
+		JobsAutodegraded:  m.jobsAutodegraded.Load(),
+		QueueDepthByClass: depthByClass,
+		InFlightByClass:   inflightByClass,
+		QueueWait:         m.queueWait.snapshot(),
 
 		PanicsRecovered: m.panicsRecovered.Load(),
 		BudgetExhausted: m.budgetExhausted.Load(),
@@ -326,9 +382,35 @@ func writeProm(w io.Writer, s MetricsSnapshot) {
 	counter("mahjongd_jobs_completed_total", "Jobs that finished successfully.", s.JobsCompleted)
 	counter("mahjongd_jobs_failed_total", "Jobs that ended in an error.", s.JobsFailed)
 	counter("mahjongd_jobs_cancelled_total", "Jobs stopped by deadline or explicit cancel.", s.JobsCancelled)
-	counter("mahjongd_jobs_rejected_total", "Submissions rejected because the queue was full.", s.JobsRejected)
+	counter("mahjongd_jobs_rejected_total", "Submissions rejected by admission control (queue full, wait estimate, shutdown).", s.JobsRejected)
+	counter("mahjongd_jobs_rejected_full_total", "Submissions rejected because the queue was at capacity.", s.JobsRejectedFull)
+	counter("mahjongd_jobs_rejected_wait_total", "Submissions rejected because estimated queue wait exceeded the deadline.", s.JobsRejectedWait)
+	counter("mahjongd_jobs_shed_total", "Queued jobs failed by deadline expiry before reaching a worker.", s.JobsShed)
+	counter("mahjongd_jobs_autodegraded_total", "Batch jobs downgraded to the alloc-site abstraction at admission.", s.JobsAutodegraded)
 	gauge("mahjongd_jobs_running", "Jobs currently executing on the worker pool.", s.JobsRunning)
 	gauge("mahjongd_jobs_queued", "Jobs waiting for a worker.", s.JobsQueued)
+	// Per-class scheduler gauges, emitted in fixed priority order so the
+	// exposition stays deterministic.
+	fmt.Fprintf(w, "# HELP mahjongd_queue_depth Jobs waiting for a worker, by scheduling class.\n# TYPE mahjongd_queue_depth gauge\n")
+	for _, name := range sched.ClassNames() {
+		fmt.Fprintf(w, "mahjongd_queue_depth{class=%q} %d\n", name, s.QueueDepthByClass[name])
+	}
+	fmt.Fprintf(w, "# HELP mahjongd_jobs_in_flight Jobs executing on the worker pool, by scheduling class.\n# TYPE mahjongd_jobs_in_flight gauge\n")
+	for _, name := range sched.ClassNames() {
+		fmt.Fprintf(w, "mahjongd_jobs_in_flight{class=%q} %d\n", name, s.InFlightByClass[name])
+	}
+	// Queue-wait histogram, same fixed bounds as the stage durations.
+	fmt.Fprintf(w, "# HELP mahjongd_queue_wait_seconds Time jobs spent waiting for a worker.\n# TYPE mahjongd_queue_wait_seconds histogram\n")
+	for i, bound := range histBoundsNS {
+		var cum int64
+		if i < len(s.QueueWait.Buckets) {
+			cum = s.QueueWait.Buckets[i]
+		}
+		fmt.Fprintf(w, "mahjongd_queue_wait_seconds_bucket{le=%q} %d\n", promBound(bound), cum)
+	}
+	fmt.Fprintf(w, "mahjongd_queue_wait_seconds_bucket{le=\"+Inf\"} %d\n", s.QueueWait.Count)
+	fmt.Fprintf(w, "mahjongd_queue_wait_seconds_sum %g\n", float64(s.QueueWait.SumMS)/1e3)
+	fmt.Fprintf(w, "mahjongd_queue_wait_seconds_count %d\n", s.QueueWait.Count)
 	counter("mahjongd_jobs_degraded_total", "Jobs completed on the allocation-site fallback abstraction.", s.JobsDegraded)
 	counter("mahjongd_panics_recovered_total", "Panics recovered at pipeline-stage boundaries.", s.PanicsRecovered)
 	counter("mahjongd_budget_exhausted_total", "Jobs that hit a resource budget limit.", s.BudgetExhausted)

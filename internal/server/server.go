@@ -29,6 +29,7 @@ import (
 	"mahjong/internal/failure"
 	"mahjong/internal/faultinject"
 	"mahjong/internal/lang"
+	"mahjong/internal/sched"
 	"mahjong/internal/trace"
 )
 
@@ -37,8 +38,24 @@ type Config struct {
 	// Workers is the worker-pool size; 0 = 2.
 	Workers int
 	// QueueDepth bounds jobs waiting for a worker; a full queue rejects
-	// submissions with 503. 0 = 64.
+	// submissions with 429 + Retry-After. 0 = 64.
 	QueueDepth int
+	// NoAdmission disables wait-estimate admission control: submissions
+	// are then rejected only when the queue is at capacity or the server
+	// is shutting down. Admission control is on by default — a job whose
+	// estimated queue wait already exceeds its deadline is rejected with
+	// 429 instead of burning a queue slot it cannot use.
+	NoAdmission bool
+	// ClassQuotas caps concurrent jobs per scheduling class (priority
+	// order interactive, incremental, batch); 0 = uncapped. Quotas are
+	// work-conserving: a class at quota yields to other pending classes
+	// but still runs when nothing else is waiting.
+	ClassQuotas [sched.NumClasses]int
+	// AutodegradeWait is the degradation-ladder threshold: when a new
+	// batch job's estimated queue wait exceeds it, the job is downgraded
+	// to the alloc-site abstraction at admission (cheaper, still sound)
+	// before the server resorts to rejection. 0 disables the ladder.
+	AutodegradeWait time.Duration
 	// DefaultTimeout is the per-job deadline applied when a submission
 	// does not set timeout_ms; 0 = no deadline.
 	DefaultTimeout time.Duration
@@ -94,7 +111,7 @@ type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
 	store   *jobStore
-	queue   chan *job
+	schedq  *sched.Queue
 	cache   *absCache
 	deltas  *deltaStore
 	metrics *metrics
@@ -115,9 +132,6 @@ type Server struct {
 	// closing flips once Close begins: submissions are rejected with a
 	// retriable 503 while in-flight jobs drain.
 	closing atomic.Bool
-	// idleWorkers counts workers blocked waiting for a job; shutdown
-	// watches it to detect that in-flight work has drained.
-	idleWorkers atomic.Int64
 }
 
 // New returns a Server with its worker pool started.
@@ -136,13 +150,18 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
 		store:   newJobStore(),
-		queue:   make(chan *job, cfg.QueueDepth),
 		cache:   newAbsCache(cacheCap),
 		deltas:  newDeltaStore(cfg.DeltaStates),
 		metrics: newMetrics(),
 		quit:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	s.schedq = sched.New(sched.Config{
+		Capacity: cfg.QueueDepth,
+		Workers:  cfg.Workers,
+		Quotas:   cfg.ClassQuotas,
+		OnExpire: s.shedExpired,
+	})
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background()) //lint:allow ctxflow server-lifetime root created once at construction; every job context derives from it so Close cancels in-flight work
 	s.routes()
 	workerDone := make(chan struct{})
@@ -172,28 +191,28 @@ func New(cfg Config) *Server {
 func (s *Server) Close() {
 	s.stop()
 	<-s.done
-	// Workers are gone; fail anything a concurrent submit raced into
-	// the queue after the first drain, and release the base context
-	// (with a negative ShutdownGrace — wait forever — it is still live).
-	s.failQueued()
+	// Workers are gone. The scheduler was closed by shutdown, so no
+	// submission can race new work in (Push returns ErrClosed); release
+	// the base context, which with a negative ShutdownGrace — wait
+	// forever — is still live.
 	s.cancelBase()
 }
 
 // shutdown implements the drain sequence (runs once, via s.stop).
 func (s *Server) shutdown() {
 	s.closing.Store(true)
-	s.failQueued()
+	// Closing the scheduler stops intake (later Pushes get ErrClosed),
+	// hands back every still-pending job to be failed as retriable, and
+	// lets each worker exit after its current job.
+	s.failQueued(s.schedq.Close())
 	grace := s.cfg.ShutdownGrace
 	if grace == 0 {
 		grace = 5 * time.Second
 	}
 	if grace > 0 {
-		deadline := time.Now().Add(grace)
-		for time.Now().Before(deadline) {
-			if s.idleWorkers.Load() == int64(s.cfg.Workers) && len(s.queue) == 0 {
-				break
-			}
-			time.Sleep(2 * time.Millisecond)
+		select {
+		case <-s.done: // every worker finished and exited
+		case <-time.After(grace):
 		}
 		// Grace expired (or everything drained): cancel whatever is
 		// still running so the workers can exit promptly. The solver and
@@ -206,26 +225,61 @@ func (s *Server) shutdown() {
 	close(s.quit)
 }
 
-// failQueued drains the queue, failing each not-yet-started job as
-// retriable: on a dying server "queued" would otherwise be a forever
-// state, and the same submission succeeds on a live server.
-func (s *Server) failQueued() {
-	for {
-		select {
-		case j := <-s.queue:
-			j.mu.Lock()
-			if j.state == StateQueued {
-				j.state = StateFailed
-				j.retriable = true
-				j.errMsg = "server shutting down before the job started; retry against a live server"
-				j.finished = time.Now()
-				s.metrics.jobsFailed.Add(1)
-			}
-			j.mu.Unlock()
-		default:
-			return
+// failQueued fails each not-yet-started job the scheduler drain handed
+// back as retriable: on a dying server "queued" would otherwise be a
+// forever state, and the same submission succeeds on a live server.
+func (s *Server) failQueued(items []*sched.Item) {
+	for _, it := range items {
+		j, ok := it.Payload.(*job)
+		if !ok {
+			continue
 		}
+		j.mu.Lock()
+		if j.state == StateQueued {
+			j.state = StateFailed
+			j.retriable = true
+			j.errMsg = "server shutting down before the job started; retry against a live server"
+			j.finished = time.Now()
+			s.metrics.jobsFailed.Add(1)
+		}
+		j.mu.Unlock()
+		s.finishQueueWait(j, errors.New("server shutting down"))
 	}
+}
+
+// shedExpired is the scheduler's OnExpire callback: the job's deadline
+// ran out while it was still waiting for a worker, so it is failed here
+// — terminal immediately, queue slot already released — without ever
+// touching the solver.
+func (s *Server) shedExpired(it *sched.Item) {
+	j, ok := it.Payload.(*job)
+	if !ok {
+		return
+	}
+	j.mu.Lock()
+	if j.state == StateQueued {
+		j.state = StateCancelled
+		j.errMsg = "deadline expired while queued; job shed before execution"
+		j.finished = time.Now()
+		s.metrics.jobsCancelled.Add(1)
+		s.metrics.jobsShed.Add(1)
+	}
+	j.mu.Unlock()
+	s.finishQueueWait(j, context.DeadlineExceeded)
+}
+
+// finishQueueWait ends the job's queued phase: the server.queue span is
+// closed (tagged with cause's failure class) and its snapshot feeds the
+// stage-duration histograms plus the queue-wait histogram. Idempotent —
+// dequeue, shed, client cancel and shutdown drain all call it, first
+// one wins.
+func (s *Server) finishQueueWait(j *job, cause error) {
+	snap, wait := j.closeQueueSpan(cause)
+	if snap == nil {
+		return
+	}
+	s.metrics.observeTrace(snap)
+	s.metrics.observeQueueWait(wait)
 }
 
 // cancelRunning cancels the context of every running job.
@@ -275,9 +329,8 @@ func (s *Server) routes() {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.closing.Load() {
-		w.Header().Set("Retry-After", "1")
 		s.metrics.jobsRejected.Add(1)
-		httpError(w, http.StatusServiceUnavailable, "server is shutting down; retry against a live server")
+		httpReject(w, http.StatusServiceUnavailable, time.Second, "server is shutting down; retry against a live server")
 		return
 	}
 	maxBytes := s.cfg.MaxProgramBytes
@@ -344,57 +397,170 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "base_job_id requires the mahjong heap (got %q)", spec.Heap)
 		return
 	}
+	class, ok := classFor(spec)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown class %q (want interactive, incremental or batch)", spec.Class)
+		return
+	}
 
-	j := s.store.add(spec, prog)
-	select {
-	case s.queue <- j:
-	default:
+	// Absolute deadline, fixed at submission: queue wait counts against
+	// it, so a job cannot spend its whole budget waiting and then start a
+	// doomed solve.
+	timeout := s.cfg.DefaultTimeout
+	if spec.TimeoutMS > 0 {
+		timeout = time.Duration(spec.TimeoutMS) * time.Millisecond
+	}
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+
+	// Admission control: estimate this class's queue wait and reject the
+	// job if it already exceeds the deadline — the client learns "try
+	// later" now instead of a deadline failure after queueing. The
+	// StageAdmit seam fires inside; a fault there rejects this one
+	// submission as retriable and leaves intake healthy.
+	est, aerr := s.admitCheck(class)
+	if aerr != nil {
 		s.metrics.jobsRejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, "job queue full (%d pending)", s.cfg.QueueDepth)
+		httpReject(w, http.StatusServiceUnavailable, time.Second, "admission check failed: %v", aerr)
+		return
+	}
+	if !s.cfg.NoAdmission && !deadline.IsZero() && est > time.Until(deadline) {
+		s.metrics.jobsRejected.Add(1)
+		s.metrics.rejectedWait.Add(1)
+		httpReject(w, http.StatusTooManyRequests, est, "estimated queue wait %v exceeds the job deadline; retry later", est.Round(time.Millisecond))
+		return
+	}
+	// Degradation ladder: a batch job facing a long (but survivable)
+	// wait runs on the cheaper alloc-site abstraction instead of adding
+	// a full Mahjong build to an already-loaded queue.
+	autoDegrade := s.cfg.AutodegradeWait > 0 && est > s.cfg.AutodegradeWait &&
+		class == sched.Batch && s.degradeEnabled(spec) &&
+		mahjong.HeapKind(defaulted(spec.Heap, string(mahjong.HeapMahjong))) == mahjong.HeapMahjong &&
+		spec.BaseJobID == ""
+
+	j := s.store.add(spec, prog, class, deadline)
+	it := &sched.Item{Class: class, Deadline: deadline, Payload: j}
+	j.mu.Lock()
+	j.qitem = it
+	j.qtr = trace.New()
+	j.qspan = j.qtr.Root().Start(faultinject.StageQueue)
+	if autoDegrade {
+		j.autoDegraded = true
+		j.degraded = true
+		j.degradedCause = fmt.Sprintf("auto-degraded at admission: estimated queue wait %v exceeded the %v threshold",
+			est.Round(time.Millisecond), s.cfg.AutodegradeWait)
+	}
+	j.mu.Unlock()
+	if err := s.schedq.Push(it); err != nil {
+		// The job is already visible in the store: give it a terminal
+		// state so it cannot linger as a zombie "queued" entry.
+		j.mu.Lock()
+		j.state = StateFailed
+		j.retriable = true
+		j.errMsg = "rejected at submission: " + err.Error()
+		j.finished = time.Now()
+		j.mu.Unlock()
+		s.finishQueueWait(j, err)
+		s.metrics.jobsRejected.Add(1)
+		if errors.Is(err, sched.ErrClosed) {
+			httpReject(w, http.StatusServiceUnavailable, time.Second, "server is shutting down; retry against a live server")
+			return
+		}
+		s.metrics.rejectedFull.Add(1)
+		httpReject(w, http.StatusTooManyRequests, retryAfterFor(est), "job queue full (%d pending)", s.cfg.QueueDepth)
 		return
 	}
 	s.metrics.jobsSubmitted.Add(1)
+	if autoDegrade {
+		s.metrics.jobsAutodegraded.Add(1)
+	}
 	if spec.BaseJobID != "" {
 		s.metrics.deltaJobs.Add(1)
 	}
 	writeJSON(w, http.StatusAccepted, j.view())
 }
 
+// classFor resolves a submission's scheduling class: an explicit class
+// wins; otherwise base_job_id resubmits default to incremental and
+// everything else to interactive.
+func classFor(spec JobSpec) (sched.Class, bool) {
+	if spec.Class == "" {
+		if spec.BaseJobID != "" {
+			return sched.Incremental, true
+		}
+		return sched.Interactive, true
+	}
+	return sched.ParseClass(spec.Class)
+}
+
+// admitCheck runs the admission-control probe: the StageAdmit fault
+// seam plus the scheduler's wait estimate. It is its own failure
+// boundary — a panic injected (or real) here rejects the one submission
+// instead of killing the intake handler.
+func (s *Server) admitCheck(class sched.Class) (est time.Duration, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = failure.AsInternal(faultinject.StageAdmit, rec)
+		}
+		s.noteFailure(err)
+	}()
+	if err := faultinject.Fire(faultinject.StageAdmit); err != nil {
+		return 0, fmt.Errorf("admission: %w", err)
+	}
+	return s.schedq.EstimatedWait(class), nil
+}
+
+// retryAfterFor turns a wait estimate into a Retry-After duration with
+// a 1s floor (clients treat 0 as "immediately", which under overload
+// just hammers the server).
+func retryAfterFor(est time.Duration) time.Duration {
+	if est < time.Second {
+		return time.Second
+	}
+	return est
+}
+
 // ---- worker pool ----
 
 func (s *Server) worker() {
 	for {
-		s.idleWorkers.Add(1)
-		select {
-		case <-s.quit:
+		it, ok := s.schedq.Pop()
+		if !ok { // scheduler closed: shutdown
 			return
-		case j := <-s.queue:
-			s.idleWorkers.Add(-1)
-			s.runJob(j)
 		}
+		j, isJob := it.Payload.(*job)
+		if !isJob {
+			s.schedq.Done(it.Class, 0)
+			continue
+		}
+		start := time.Now()
+		s.runJob(j)
+		// Report the observed service time back to the scheduler: it
+		// feeds the per-class EWMA that admission control and the
+		// degradation ladder estimate queue waits from.
+		s.schedq.Done(it.Class, time.Since(start))
 	}
 }
 
 func (s *Server) runJob(j *job) {
+	s.finishQueueWait(j, nil)
 	j.mu.Lock()
 	if j.state != StateQueued { // cancelled while waiting
 		j.mu.Unlock()
 		return
 	}
-	timeout := s.cfg.DefaultTimeout
-	if j.spec.TimeoutMS > 0 {
-		timeout = time.Duration(j.spec.TimeoutMS) * time.Millisecond
-	}
 	// The job context derives from the server's base context: per-job
 	// deadlines and explicit cancels work as before, and shutdown's
 	// cancelBase reaches every in-flight job even if it raced past the
 	// drain (a detached context.Background here escaped graceful
-	// shutdown).
+	// shutdown). The deadline is the absolute one fixed at submission,
+	// so time spent queued counts against the job's budget.
 	ctx := s.baseCtx
 	var cancel context.CancelFunc
-	if timeout > 0 {
-		ctx, cancel = context.WithTimeout(ctx, timeout)
+	if !j.deadline.IsZero() {
+		ctx, cancel = context.WithDeadline(ctx, j.deadline)
 	} else {
 		ctx, cancel = context.WithCancel(ctx)
 	}
@@ -465,6 +631,13 @@ func (s *Server) executeIsolated(ctx context.Context, j *job) (err error) {
 		}
 		s.noteFailure(err)
 	}()
+	// The StageQueue seam models a fault in the scheduler hand-off
+	// itself (right after dequeue, before the pipeline). A panic here is
+	// recovered above; faultinject.Fire already tagged it with the
+	// server.queue stage, which AsInternal preserves.
+	if err := faultinject.Fire(faultinject.StageQueue); err != nil {
+		return fmt.Errorf("queue hand-off: %w", err)
+	}
 	if err := faultinject.Fire(faultinject.StageJob); err != nil {
 		return fmt.Errorf("job worker: %w", err)
 	}
@@ -563,6 +736,12 @@ func (s *Server) execute(ctx context.Context, j *job) error {
 		Resources:     resources,
 		SolverWorkers: s.cfg.SolverWorkers,
 		Renumber:      s.cfg.Renumber,
+	}
+	if j.autoDegraded && cfg.Heap == mahjong.HeapMahjong {
+		// The admission controller already downgraded this batch job
+		// (degradation ladder): run straight on the alloc-site baseline,
+		// skipping the Mahjong abstraction build entirely.
+		cfg.Heap = mahjong.HeapAllocSite
 	}
 	rep, err := s.runAttempt(ctx, j, prog, cfg, resources)
 	if err != nil && degrade && degradable(err) && cfg.Heap == mahjong.HeapMahjong {
@@ -743,7 +922,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := s.metrics.snapshot(len(s.queue), s.cache.len(), s.deltas.len())
+	snap := s.metrics.snapshot(s.schedq.Depths(), s.schedq.InFlight(), s.cache.len(), s.deltas.len())
 	if r.URL.Query().Get("format") == "json" {
 		writeJSON(w, http.StatusOK, snap)
 		return
@@ -791,6 +970,16 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		j.errMsg = "cancelled before execution"
 		j.finished = time.Now()
 		s.metrics.jobsCancelled.Add(1)
+		qit := j.qitem
+		j.mu.Unlock()
+		// Release the queue slot NOW: a cancelled job must not occupy
+		// capacity (or be dequeued and discarded later) while live work
+		// is being rejected. Remove returning false means a worker beat
+		// us to the pop; runJob sees the terminal state and returns.
+		s.schedq.Remove(qit)
+		s.finishQueueWait(j, context.Canceled)
+		writeJSON(w, http.StatusOK, j.view())
+		return
 	case StateRunning:
 		j.cancel() // the worker records the terminal state
 	default:
@@ -959,14 +1148,19 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	attempts := j.traceSnapshots()
-	if len(attempts) == 0 {
+	queueTrace := j.queueTraceSnapshot()
+	if len(attempts) == 0 && queueTrace == nil {
 		httpError(w, http.StatusConflict, "job %s has no trace yet", j.id)
 		return
 	}
+	// The queue span rides in its own field: attempt traces keep their
+	// root-is-server.job shape, and a job shed or cancelled while queued
+	// still has a trace to look at.
 	out := struct {
 		Job      string         `json:"job"`
+		Queue    *trace.Trace   `json:"queue,omitempty"`
 		Attempts []*trace.Trace `json:"attempts"`
-	}{Job: j.id, Attempts: attempts}
+	}{Job: j.id, Queue: queueTrace, Attempts: attempts}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -994,4 +1188,23 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// httpReject writes a backpressure rejection (429/503): a Retry-After
+// header derived from retryAfter (rounded up, 1s floor) and an error
+// body carrying "retriable": true, so clients can distinguish "back off
+// and resubmit" from "this job is broken".
+func httpReject(w http.ResponseWriter, code int, retryAfter time.Duration, format string, args ...any) {
+	secs := int64(retryAfter / time.Second)
+	if retryAfter%time.Second != 0 {
+		secs++
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	writeJSON(w, code, map[string]any{
+		"error":     fmt.Sprintf(format, args...),
+		"retriable": true,
+	})
 }
