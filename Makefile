@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build test lint serve race clean bench bench-save bench-server bench-server-save deltacheck slowcheck faultmatrix fuzz-smoke trace-smoke cover
+.PHONY: build test lint lint-self serve race clean bench bench-save bench-server bench-server-save deltacheck slowcheck faultmatrix fuzz-smoke trace-smoke cover
+
+# Optional analyzer subset for `make lint`, passed straight through to
+# mahjongvet: `make lint RUN=atomicmix` or RUN=shardowner,sendmove.
+RUN ?=
+VETFLAGS := $(if $(RUN),-run $(RUN),)
 
 # Total-statement coverage floor over ./internal/... — the seed baseline
 # (88.8% at the time of recording) minus slack for environment noise.
@@ -15,11 +20,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-lint: ## go vet + gofmt + the project's own analyzer suite (docs/LINT.md)
+lint: ## go vet + gofmt + the project's own analyzer suite (docs/LINT.md); RUN=a,b selects analyzers
 	$(GO) vet ./...
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then echo "gofmt needed:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) build -o bin/mahjongvet ./cmd/mahjongvet
-	./bin/mahjongvet ./...
+	./bin/mahjongvet $(VETFLAGS) ./...
+
+lint-self: ## mahjongvet over its own framework and driver (the linter is module code too)
+	$(GO) build -o bin/mahjongvet ./cmd/mahjongvet
+	./bin/mahjongvet $(VETFLAGS) ./internal/lint/... ./cmd/mahjongvet/
 
 serve: ## run the analysis daemon on :8080
 	$(GO) run ./cmd/mahjongd -addr=:8080

@@ -68,6 +68,49 @@ func TestSolverEquivalenceAllBenchmarks(t *testing.T) {
 	}
 }
 
+// TestParallelOwnershipHandoffRace is the runtime half of the
+// shardowner/sendmove static rules. The sharded engine's owner-writes
+// discipline (only a shard's worker writes its //lint:owner-writes
+// fields) and the move-on-handoff of delta bitsets (a set pushed to the
+// drain barrier's //lint:adopts field is never touched again by the
+// sender) are exactly the invariants those analyzers enforce on the
+// source; this test puts their runtime counterparts under the race
+// detector at GOMAXPROCS=4 — a width between the dedicated CI shards
+// at 2 and 8 — so the static rules and the race detector gate the same
+// property from both sides. Without -race it degrades to a plain
+// parallel-vs-sequential equivalence pass.
+func TestParallelOwnershipHandoffRace(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	prof, err := synth.ProfileByName("luindex")
+	if err != nil {
+		t.Fatalf("profile luindex: %v", err)
+	}
+	prog, err := synth.Generate(prof)
+	if err != nil {
+		t.Fatalf("generate luindex: %v", err)
+	}
+	opt, err := pta.Solve(prog, pta.Options{})
+	if err != nil {
+		t.Fatalf("sequential Solve: %v", err)
+	}
+	// Two repetitions vary the goroutine interleavings the detector
+	// observes; renumbering changes which objects land in which shard,
+	// so both layouts exercise the cross-shard handoff queues.
+	for iter := 0; iter < 2; iter++ {
+		for _, v := range []variant{
+			{"workers=4", pta.Options{Parallel: 4}},
+			{"workers=4+renumber", pta.Options{Parallel: 4, Renumber: true}},
+		} {
+			v := v
+			t.Run(fmt.Sprintf("iter%d/%s", iter, v.name), func(t *testing.T) {
+				checkVariant(t, "luindex", prog, opt, v)
+			})
+		}
+	}
+}
+
 func checkSolverEquivalence(t *testing.T, name string, variants []variant) {
 	t.Helper()
 	prof, err := synth.ProfileByName(name)

@@ -1,0 +1,118 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A CallGraph is the package-local static call graph: declared
+// functions and methods of one package, with an edge for every direct
+// call between them (calls through function values and interfaces are
+// not resolved — the analyses built on this ask "is this function in
+// the worker's call tree", and the shard workers call their helpers
+// directly). Function literals are attributed to the declaration that
+// lexically encloses them: a worker's goroutine body belongs to the
+// worker.
+type CallGraph struct {
+	decls   map[*types.Func]*ast.FuncDecl
+	callees map[*types.Func][]*types.Func
+}
+
+// NewCallGraph builds the call graph of the package's files.
+func NewCallGraph(files []*ast.File, info *types.Info) *CallGraph {
+	cg := &CallGraph{
+		decls:   make(map[*types.Func]*ast.FuncDecl),
+		callees: make(map[*types.Func][]*types.Func),
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			cg.decls[fn] = fd
+			seen := make(map[*types.Func]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				var id *ast.Ident
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.Ident:
+					id = fun
+				case *ast.SelectorExpr:
+					id = fun.Sel
+				default:
+					return true
+				}
+				callee, ok := info.Uses[id].(*types.Func)
+				if !ok || seen[callee] {
+					return true
+				}
+				seen[callee] = true
+				cg.callees[fn] = append(cg.callees[fn], callee)
+				return true
+			})
+		}
+	}
+	return cg
+}
+
+// DeclOf returns the syntax of fn when it is declared in this package.
+func (cg *CallGraph) DeclOf(fn *types.Func) *ast.FuncDecl { return cg.decls[fn] }
+
+// ReachableFrom returns the set of package-local functions transitively
+// callable from roots (roots included).
+func (cg *CallGraph) ReachableFrom(roots []*types.Func) map[*types.Func]bool {
+	reach := make(map[*types.Func]bool)
+	var stack []*types.Func
+	for _, r := range roots {
+		if !reach[r] {
+			reach[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		fn := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, callee := range cg.callees[fn] {
+			if _, local := cg.decls[callee]; local && !reach[callee] {
+				reach[callee] = true
+				stack = append(stack, callee)
+			}
+		}
+	}
+	return reach
+}
+
+// MethodsOf returns the declared methods whose receiver's named type is
+// typ.
+func (cg *CallGraph) MethodsOf(typ *types.Named) []*types.Func {
+	var out []*types.Func
+	for fn := range cg.decls {
+		if RecvNamed(fn) == typ {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// RecvNamed returns the named type of fn's receiver, nil for plain
+// functions.
+func RecvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

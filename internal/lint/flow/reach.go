@@ -1,0 +1,245 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Reaching definitions over the CFG: for every use of a function-local
+// variable, which assignments may have produced the value it reads.
+// This is the classic gen/kill bitvector analysis at block granularity,
+// iterated to fixpoint; uses are then resolved by a single in-block
+// scan. Analyzers consume it through ReachingDefs.At — most
+// prominently the ownership classifier, which joins the ownership of a
+// value's reaching definitions (a set whose defs all come from the
+// worker's own pool is Local; one def from a parameter makes it
+// Borrowed).
+
+// A Def is one definition event of a local variable.
+type Def struct {
+	Obj types.Object
+	// Node is the defining node: an *ast.AssignStmt, *ast.DeclStmt,
+	// range-binding *ast.Ident, or — for parameters and named results —
+	// the declaring *ast.Ident itself (a virtual definition at entry).
+	Node ast.Node
+	// RHS is the defining expression when the definition has one (the
+	// matching right-hand side of an assignment), nil for parameters,
+	// zero-value declarations, and range bindings.
+	RHS ast.Expr
+}
+
+// ReachingDefs holds the fixpoint solution for one function.
+type ReachingDefs struct {
+	g    *Graph
+	info *types.Info
+	defs []Def
+	// defsOf[obj] lists indices into defs.
+	defsOf map[types.Object][]int
+	// in[b] is the def set live at block b's entry.
+	in []bitvec
+}
+
+type bitvec []uint64
+
+func newBitvec(n int) bitvec { return make(bitvec, (n+63)/64) }
+
+func (v bitvec) set(i int)      { v[i/64] |= 1 << (i % 64) }
+func (v bitvec) clear(i int)    { v[i/64] &^= 1 << (i % 64) }
+func (v bitvec) has(i int) bool { return v[i/64]&(1<<(i%64)) != 0 }
+
+// or merges w into v, reporting whether v changed.
+func (v bitvec) or(w bitvec) bool {
+	changed := false
+	for i := range v {
+		old := v[i]
+		v[i] |= w[i]
+		changed = changed || v[i] != old
+	}
+	return changed
+}
+
+// Reach computes reaching definitions for fn's graph g. params are the
+// declaring identifiers of the function's parameters and named results,
+// which act as virtual definitions at entry.
+func Reach(g *Graph, info *types.Info, params []*ast.Ident) *ReachingDefs {
+	r := &ReachingDefs{g: g, info: info, defsOf: make(map[types.Object][]int)}
+	addDef := func(obj types.Object, node ast.Node, rhs ast.Expr) {
+		if obj == nil {
+			return
+		}
+		r.defsOf[obj] = append(r.defsOf[obj], len(r.defs))
+		r.defs = append(r.defs, Def{Obj: obj, Node: node, RHS: rhs})
+	}
+	var entryDefs []int
+	for _, p := range params {
+		if obj := info.Defs[p]; obj != nil {
+			entryDefs = append(entryDefs, len(r.defs))
+			addDef(obj, p, nil)
+		}
+	}
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			r.eachDef(n, func(obj types.Object, rhs ast.Expr) {
+				addDef(obj, n, rhs)
+			})
+		}
+	}
+
+	nd := len(r.defs)
+	gen := make([]bitvec, len(g.Blocks))
+	kill := make([]bitvec, len(g.Blocks))
+	r.in = make([]bitvec, len(g.Blocks))
+	out := make([]bitvec, len(g.Blocks))
+	for i := range g.Blocks {
+		gen[i], kill[i] = newBitvec(nd), newBitvec(nd)
+		r.in[i], out[i] = newBitvec(nd), newBitvec(nd)
+	}
+	// Per-block gen/kill: a later def of the same object kills earlier
+	// ones (within the block and from outside).
+	for bi, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			r.eachDef(n, func(obj types.Object, rhs ast.Expr) {
+				for _, di := range r.defsOf[obj] {
+					if r.defs[di].Node == n && (rhs == nil || r.defs[di].RHS == rhs) {
+						for _, other := range r.defsOf[obj] {
+							gen[bi].clear(other)
+							kill[bi].set(other)
+						}
+						gen[bi].set(di)
+						kill[bi].clear(di)
+						break
+					}
+				}
+			})
+		}
+	}
+	for _, di := range entryDefs {
+		r.in[g.Entry.Index].set(di)
+	}
+
+	// Fixpoint: out = gen ∪ (in − kill); in = ∪ out(preds).
+	changed := true
+	for changed {
+		changed = false
+		for bi, blk := range g.Blocks {
+			o := out[bi]
+			copy(o, r.in[bi])
+			for i := range o {
+				o[i] = (o[i] &^ kill[bi][i]) | gen[bi][i]
+			}
+			for _, e := range blk.Out {
+				if r.in[e.To.Index].or(o) {
+					changed = true
+				}
+			}
+		}
+	}
+	return r
+}
+
+// eachDef invokes f for every definition event node n carries, pairing
+// each defined object with its right-hand side when one exists.
+func (r *ReachingDefs) eachDef(n ast.Node, f func(types.Object, ast.Expr)) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range n.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := r.info.Defs[id]
+			if obj == nil {
+				obj = r.info.Uses[id]
+			}
+			var rhs ast.Expr
+			if len(n.Rhs) == len(n.Lhs) {
+				rhs = n.Rhs[i]
+			} else if len(n.Rhs) == 1 {
+				rhs = n.Rhs[0]
+			}
+			f(obj, rhs)
+		}
+	case *ast.DeclStmt:
+		gen, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gen.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				var rhs ast.Expr
+				if i < len(vs.Values) {
+					rhs = vs.Values[i]
+				}
+				f(r.info.Defs[name], rhs)
+			}
+		}
+	case *ast.Ident:
+		// Range binding placed in a loop head by the builder.
+		if obj := r.info.Defs[n]; obj != nil {
+			f(obj, nil)
+		} else if obj := r.info.Uses[n]; obj != nil {
+			f(obj, nil)
+		}
+	}
+}
+
+// At returns the definitions of use's object that may reach it. use
+// must be an identifier inside a node the builder placed (any simple
+// statement or branch condition).
+func (r *ReachingDefs) At(use *ast.Ident) []Def {
+	obj := r.info.Uses[use]
+	if obj == nil {
+		return nil
+	}
+	// Locate the placed node holding the use, then replay the block up
+	// to it. The innermost containing node wins (a condition expression
+	// is placed separately from the statements around it).
+	var blk *Block
+	var host ast.Node
+	for n, b := range r.g.blockOf {
+		if n.Pos() <= use.Pos() && use.End() <= n.End() {
+			if host == nil || n.End()-n.Pos() < host.End()-host.Pos() {
+				host, blk = n, b
+			}
+		}
+	}
+	if blk == nil {
+		return nil
+	}
+	hostIdx := 0
+	for i, bn := range blk.Nodes {
+		if bn == host {
+			hostIdx = i
+			break
+		}
+	}
+	live := newBitvec(len(r.defs))
+	copy(live, r.in[blk.Index])
+	for _, n := range blk.Nodes[:hostIdx] {
+		r.eachDef(n, func(o types.Object, rhs ast.Expr) {
+			if o != obj {
+				return
+			}
+			for _, other := range r.defsOf[obj] {
+				live.clear(other)
+			}
+			for _, di := range r.defsOf[obj] {
+				if r.defs[di].Node == n && (rhs == nil || r.defs[di].RHS == rhs) {
+					live.set(di)
+					break
+				}
+			}
+		})
+	}
+	var out []Def
+	for _, di := range r.defsOf[obj] {
+		if live.has(di) {
+			out = append(out, r.defs[di])
+		}
+	}
+	return out
+}

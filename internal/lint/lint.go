@@ -112,9 +112,14 @@ func (m *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzers returns mahjongvet's analyzer suite.
+// Analyzers returns mahjongvet's analyzer suite: the five syntactic
+// invariant checks, plus the four concurrency-ownership analyzers built
+// on the internal/lint/flow dataflow layer.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{CtxFlow, RecoverSeam, BitsetAlias, MapDeterminism, StageHook}
+	return []*Analyzer{
+		CtxFlow, RecoverSeam, BitsetAlias, MapDeterminism, StageHook,
+		ShardOwner, AtomicMix, SendMove, SlotBalance,
+	}
 }
 
 // RunAnalyzers runs analyzers over pkgs, applies //lint:allow suppressions,
@@ -166,8 +171,18 @@ type allowKey struct {
 //
 // comment on the same line or the line directly above. An allow without a
 // justification suppresses nothing and is itself reported: the comment is
-// the audit trail for why the invariant may be broken at that site.
+// the audit trail for why the invariant may be broken at that site. The
+// analyzer name must exist in the registry — a typo would otherwise create
+// a dead suppression that silently stops guarding nothing, so unknown
+// names are reported too (validated against the full suite, not the -run
+// subset, so partial runs don't flag allows for analyzers they skipped).
 func applyAllows(pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	known := make(map[string]bool)
+	var names []string
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+		names = append(names, a.Name)
+	}
 	allowed := make(map[allowKey]bool)
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
@@ -183,6 +198,14 @@ func applyAllows(pkgs []*Package, diags []Diagnostic) []Diagnostic {
 						diags = append(diags, Diagnostic{
 							Pos:     pos,
 							Message: "//lint:allow requires an analyzer name and a justification: //lint:allow <analyzer> <why this site may break the invariant>",
+							Check:   "lint",
+						})
+						continue
+					}
+					if !known[fields[0]] {
+						diags = append(diags, Diagnostic{
+							Pos:     pos,
+							Message: fmt.Sprintf("//lint:allow names unknown analyzer %q — the suppression is dead and guards nothing (known: %s)", fields[0], strings.Join(names, ", ")),
 							Check:   "lint",
 						})
 						continue

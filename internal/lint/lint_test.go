@@ -24,6 +24,22 @@ func TestMapDeterminism(t *testing.T) {
 	linttest.Run(t, ".", []*lint.Analyzer{lint.MapDeterminism}, "./testdata/src/mapdeterminism")
 }
 
+func TestShardOwner(t *testing.T) {
+	linttest.Run(t, ".", []*lint.Analyzer{lint.ShardOwner}, "./testdata/src/shardowner")
+}
+
+func TestAtomicMix(t *testing.T) {
+	linttest.Run(t, ".", []*lint.Analyzer{lint.AtomicMix}, "./testdata/src/atomicmix")
+}
+
+func TestSendMove(t *testing.T) {
+	linttest.Run(t, ".", []*lint.Analyzer{lint.SendMove}, "./testdata/src/sendmove")
+}
+
+func TestSlotBalance(t *testing.T) {
+	linttest.Run(t, ".", []*lint.Analyzer{lint.SlotBalance}, "./testdata/src/slotbalance")
+}
+
 func TestStageHook(t *testing.T) {
 	linttest.Run(t, ".", []*lint.Analyzer{lint.StageHook}, "./testdata/src/stagehook/...")
 }
@@ -61,6 +77,35 @@ func TestAllowJustification(t *testing.T) {
 	}
 }
 
+// TestAllowUnknownAnalyzer asserts that an //lint:allow naming a
+// nonexistent analyzer is reported as a dead suppression instead of
+// silently disabling nothing — the typo'd allow must not swallow the
+// finding it sat next to, and a justified allow with a correct name
+// still suppresses.
+func TestAllowUnknownAnalyzer(t *testing.T) {
+	_, diags := linttest.Analyze(t, ".", []*lint.Analyzer{lint.CtxFlow}, "./testdata/src/allowunknown")
+	var deadAllows, ctxflow int
+	for _, d := range diags {
+		switch d.Check {
+		case "lint":
+			if !strings.Contains(d.Message, "unknown analyzer") {
+				t.Errorf("lint diagnostic does not name the unknown analyzer: %s", d.Message)
+			}
+			if !strings.Contains(d.Message, "known:") {
+				t.Errorf("lint diagnostic does not list the known analyzers: %s", d.Message)
+			}
+			deadAllows++
+		case "ctxflow":
+			ctxflow++
+		default:
+			t.Errorf("unexpected check %q: %s", d.Check, d.Message)
+		}
+	}
+	if deadAllows != 2 || ctxflow != 1 {
+		t.Fatalf("got %d dead-allow and %d ctxflow diagnostics, want 2 and 1:\n%v", deadAllows, ctxflow, diags)
+	}
+}
+
 // TestAnalyzersWellFormed guards the suite's own registry: every analyzer
 // has a name, documentation, and exactly one run hook — the properties the
 // driver and the allow mechanism rely on.
@@ -78,7 +123,10 @@ func TestAnalyzersWellFormed(t *testing.T) {
 			t.Errorf("analyzer %s must set exactly one of Run and RunModule", a.Name)
 		}
 	}
-	for _, want := range []string{"ctxflow", "recoverseam", "bitsetalias", "mapdeterminism", "stagehook"} {
+	for _, want := range []string{
+		"ctxflow", "recoverseam", "bitsetalias", "mapdeterminism", "stagehook",
+		"shardowner", "atomicmix", "sendmove", "slotbalance",
+	} {
 		if !seen[want] {
 			t.Errorf("analyzer %s missing from Analyzers()", want)
 		}

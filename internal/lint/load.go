@@ -14,6 +14,8 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+
+	"mahjong/internal/lint/flow"
 )
 
 // A Package is one type-checked package of the load: syntax plus full type
@@ -25,6 +27,10 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// Lazily built dataflow caches (see flowpass.go).
+	cfgs    map[*ast.FuncDecl]*flow.Graph
+	reaches map[*ast.FuncDecl]*flow.ReachingDefs
 }
 
 // listedPkg is the subset of `go list -json` output the loader consumes.

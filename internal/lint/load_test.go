@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a synthetic module under a temp dir:
+// files maps module-relative paths to contents.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoadMultiPackageModule drives Load end to end over a synthetic
+// two-package module: both packages come back in dependency order with
+// full type information, the standard library resolves through export
+// data, and cross-package objects keep source identity (the dependency's
+// *types.Package is the same pointer whether seen as a target or as an
+// import of the dependent).
+func TestLoadMultiPackageModule(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/synth\n\ngo 1.21\n",
+		"sub/sub.go": `package sub
+
+// T is consumed across the package boundary.
+type T struct{ N int }
+
+func Make(n int) T { return T{N: n} }
+`,
+		"app/app.go": `package app
+
+import (
+	"fmt"
+
+	"example.com/synth/sub"
+)
+
+func Describe(n int) string {
+	v := sub.Make(n)
+	return fmt.Sprintf("%d", v.N)
+}
+`,
+	})
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2: %v", len(pkgs), pkgs)
+	}
+	// go list -deps order: dependencies before dependents.
+	if pkgs[0].Path != "example.com/synth/sub" || pkgs[1].Path != "example.com/synth/app" {
+		t.Fatalf("unexpected package order: %s, %s", pkgs[0].Path, pkgs[1].Path)
+	}
+	sub, app := pkgs[0], pkgs[1]
+	if sub.Name != "sub" || app.Name != "app" {
+		t.Fatalf("unexpected package names: %q, %q", sub.Name, app.Name)
+	}
+	if len(app.Files) != 1 || app.Info == nil || app.Types == nil {
+		t.Fatalf("app package not fully populated: %+v", app)
+	}
+	// Source identity across the load: app's view of sub must be the
+	// checked-from-source package, not a parallel export-data copy —
+	// analyzers compare types.Objects across packages.
+	for _, imp := range app.Types.Imports() {
+		if imp.Path() == "example.com/synth/sub" && imp != sub.Types {
+			t.Fatalf("app imports a different *types.Package for sub than the load returned")
+		}
+	}
+	if obj := sub.Types.Scope().Lookup("Make"); obj == nil {
+		t.Fatalf("sub.Make missing from the checked package scope")
+	}
+}
+
+// TestLoadVendoredPackage exercises the vendor path: a dependency that
+// exists only under vendor/ must resolve through the toolchain's export
+// data like any other out-of-pattern import.
+func TestLoadVendoredPackage(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/synth\n\ngo 1.21\n\n" +
+			"require example.com/vdep v0.0.0-00010101000000-000000000000\n",
+		"vendor/modules.txt": "# example.com/vdep v0.0.0-00010101000000-000000000000\n" +
+			"## explicit; go 1.21\nexample.com/vdep\n",
+		"vendor/example.com/vdep/vdep.go": "package vdep\n\nfunc Seven() int { return 7 }\n",
+		"app/app.go": `package app
+
+import "example.com/vdep"
+
+var X = vdep.Seven()
+`,
+	})
+	pkgs, err := Load(dir, "./app")
+	if err != nil {
+		t.Fatalf("Load with vendored dependency: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "example.com/synth/app" {
+		t.Fatalf("got %v, want just example.com/synth/app (vendor dirs are dep-only)", pkgs)
+	}
+	x := pkgs[0].Types.Scope().Lookup("X")
+	if x == nil || x.Type().String() != "int" {
+		t.Fatalf("X did not type-check against the vendored package: %v", x)
+	}
+}
+
+// TestLoadNoMatch: patterns that resolve to zero analyzable module
+// packages are an error, not an empty analysis that would vacuously
+// pass CI. A standard-library pattern exercises Load's own filter — go
+// list resolves "fmt" happily, but std packages are never targets.
+func TestLoadNoMatch(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/synth\n\ngo 1.21\n",
+		"a/a.go": "package a\n",
+	})
+	if _, err := Load(dir, "fmt"); err == nil {
+		t.Fatal("Load matched nothing analyzable but returned no error")
+	} else if !strings.Contains(err.Error(), "no packages matched") {
+		t.Fatalf("unexpected error for empty match: %v", err)
+	}
+	// A pattern go list itself rejects surfaces the go list failure.
+	if _, err := Load(dir, "./nosuchdir/..."); err == nil || !strings.Contains(err.Error(), "go list") {
+		t.Fatalf("unexpected error for unresolvable pattern: %v", err)
+	}
+}
+
+// TestLoadBrokenDependency: a dependency that fails to compile has no
+// export data to type-check the target against; the go list failure
+// surfaces with the compiler's own message.
+func TestLoadBrokenDependency(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":           "module example.com/synth\n\ngo 1.21\n",
+		"broken/broken.go": "package broken\n\nfunc Bad() int { return \"x\" }\n",
+		"app/app.go":       "package app\n\nimport \"example.com/synth/broken\"\n\nvar X = broken.Bad()\n",
+	})
+	_, err := Load(dir, "./app")
+	if err == nil {
+		t.Fatal("Load of a target with a broken dependency must fail")
+	}
+	if !strings.Contains(err.Error(), "go list") || !strings.Contains(err.Error(), "broken") {
+		t.Fatalf("error does not surface the go list build failure: %v", err)
+	}
+}
+
+// TestLoadImporterMissingExport unit-tests the importer's lookup error:
+// an import path go list recorded no export data for (a build that was
+// skipped or failed upstream) must fail with a diagnosable message, not
+// a nil reader.
+func TestLoadImporterMissingExport(t *testing.T) {
+	imp := &loadImporter{exports: map[string]string{}}
+	if _, err := imp.lookup("example.com/ghost"); err == nil {
+		t.Fatal("lookup of an unrecorded path must fail")
+	} else if !strings.Contains(err.Error(), `no export data recorded for "example.com/ghost"`) {
+		t.Fatalf("unexpected lookup error: %v", err)
+	}
+}

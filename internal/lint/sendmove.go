@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mahjong/internal/lint/flow"
+)
+
+// SendMove is the dataflow upgrade of bitsetalias's syntactic send rule:
+// a *bitset.Set that crosses an ownership boundary is *moved*, and any
+// later use of the same variable on any control-flow path is a
+// use-after-move.
+//
+// Two kinds of statement move a set:
+//
+//   - passing it to a send/push call (the parallel engine's SPSC shard
+//     queues) — the receiving worker adopts the message's set into its
+//     own pool;
+//
+//   - storing it into a struct field marked //lint:adopts (e.g. the
+//     shard worker's fired map, whose entries the coordinator releases
+//     during the drain barrier).
+//
+// After a move the sender holds a dangling alias: the adopter will
+// Clear and refill — or release — the set on its own schedule. Unlike
+// bitsetalias (which only flags borrowed *parameters* at the send
+// itself), this analyzer walks the CFG forward from each move, so the
+// solver's store-then-return shape passes while a use on a merged
+// branch is caught:
+//
+//	w.fired[id] = delta   // move into an adopting field
+//	return                // ok: nothing uses delta afterwards
+//
+//	send(msg{set: s})
+//	if retry { send(msg{set: s}) }   // flagged: s was moved above
+//
+// A redefinition of the variable (s = grabSet(), s re-bound by a loop)
+// ends the moved state on that path. Stores into unmarked fields do NOT
+// move — the solver's publish-then-fill idiom (s.pending[id] = p;
+// p.Add(obj)) is a retained store the owner keeps using by design.
+var SendMove = &Analyzer{
+	Name: "sendmove",
+	Doc: "a *bitset.Set passed to a shard-queue send/push or stored into an //lint:adopts field " +
+		"is moved; using the variable afterwards on any path is a use-after-move",
+	Run: runSendMove,
+}
+
+func runSendMove(pass *Pass) {
+	if pass.Name == "bitset" {
+		return
+	}
+	usesBitset := false
+	for _, imp := range pass.Types.Imports() {
+		if imp.Name() == "bitset" {
+			usesBitset = true
+		}
+	}
+	if !usesBitset {
+		return
+	}
+	m := collectMarkers(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkMoves(pass, m, fn)
+		}
+	}
+}
+
+// move records one ownership transfer: obj moved away at CFG node at.
+type move struct {
+	at   ast.Node
+	obj  types.Object
+	what string // "a shard-queue send" / "the adopting field w.fired"
+}
+
+func checkMoves(pass *Pass, m *markers, fn *ast.FuncDecl) {
+	g := pass.CFG(fn)
+	var moves []move
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			moves = append(moves, movesIn(pass, m, n)...)
+		}
+	}
+	for _, mv := range moves {
+		w := &flow.Walk{
+			G:    g,
+			Kill: func(n ast.Node) bool { return flow.DefinesObj(pass.Info, n, mv.obj) },
+		}
+		reported := false
+		w.From(mv.at, func(n ast.Node) bool {
+			if reported || !flow.UsesObj(pass.Info, n, mv.obj) {
+				return true
+			}
+			// One report per move: the first use in walk order.
+			reported = true
+			pass.Reportf(n.Pos(), "%s is used after being moved into %s: the adopter clears or releases the set on its own schedule, so this alias dangles — clone before moving, or re-grab a fresh set", mv.obj.Name(), mv.what)
+			return false
+		})
+	}
+}
+
+// movesIn extracts the moves a single CFG node performs.
+func movesIn(pass *Pass, m *markers, n ast.Node) []move {
+	var out []move
+	setIdent := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil || !isPtrToNamed(obj.Type(), "bitset", "Set") {
+			return nil
+		}
+		return obj
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.FuncLit:
+			// A closure body is its own CFG context; its statements are
+			// not sequenced with this node's successors.
+			return false
+		case *ast.CallExpr:
+			if fn := calleeOf(pass.Info, c); fn != nil {
+				if name := fn.Name(); name != "send" && name != "push" {
+					return true
+				}
+			} else {
+				name := ""
+				switch fun := ast.Unparen(c.Fun).(type) {
+				case *ast.Ident:
+					name = fun.Name
+				case *ast.SelectorExpr:
+					name = fun.Sel.Name
+				}
+				if name != "send" && name != "push" {
+					return true
+				}
+			}
+			for _, arg := range c.Args {
+				if obj := setIdent(arg); obj != nil {
+					out = append(out, move{n, obj, "a shard-queue send"})
+					continue
+				}
+				if lit, ok := ast.Unparen(arg).(*ast.CompositeLit); ok {
+					for _, elt := range lit.Elts {
+						v := elt
+						if kv, ok := elt.(*ast.KeyValueExpr); ok {
+							v = kv.Value
+						}
+						if obj := setIdent(v); obj != nil {
+							out = append(out, move{n, obj, "a shard-queue send"})
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range c.Lhs {
+				if len(c.Rhs) != len(c.Lhs) {
+					break
+				}
+				field := flow.FieldOf(pass.Info, lhs)
+				if field == nil || !m.adoptFields[field] {
+					continue
+				}
+				if obj := setIdent(c.Rhs[i]); obj != nil {
+					out = append(out, move{n, obj, "the adopting field " + types.ExprString(lhs)})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

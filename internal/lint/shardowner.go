@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mahjong/internal/lint/flow"
+)
+
+// ShardOwner enforces the parallel solver's owner-writes discipline.
+//
+// During a propagation phase the coordinator's arrays (pending sets,
+// queued flags) are sharded by the class-contiguous renumbering: each
+// worker owns a contiguous slice of them and is the only goroutine
+// allowed to write its slice. Between phase barriers the coordinator
+// owns everything. The discipline lives in comments today; this
+// analyzer makes it machine-checked through three declarative markers
+// (see flowpass.go):
+//
+//	//lint:shard-worker       on the worker type whose methods form the
+//	                          in-phase call tree
+//	//lint:owner-writes       on each coordinator field the workers shard
+//	//lint:phase-sequential   on coordinator functions frozen for the
+//	                          phase (path-compressing find, the serial
+//	                          addPts entry points)
+//
+// Two rules follow. An //lint:owner-writes field may be written by
+// worker-type methods (the owner, writing its shard) and by functions
+// outside the worker call tree entirely (the coordinator, between
+// barriers) — but a plain helper reachable from a worker that writes
+// the field has no shard to own, so the write is a cross-shard hazard.
+// And a //lint:phase-sequential function must not be reachable from the
+// worker call tree at all: the classic instance is union-find's
+// path-compressing find, which mutates parent links every caller
+// reads — the parallel engine flattens the forest before the phase
+// precisely so workers never need it.
+//
+// The worker call tree is the package-local static call graph reachable
+// from the worker type's methods; function literals (goroutine bodies)
+// belong to the declaration that encloses them, so `go func() {
+// w.run() }()` keeps w.run in the tree.
+var ShardOwner = &Analyzer{
+	Name: "shardowner",
+	Doc: "//lint:owner-writes fields may only be written by //lint:shard-worker methods or " +
+		"outside the worker call tree; //lint:phase-sequential functions must be unreachable from workers",
+	Run: runShardOwner,
+}
+
+func runShardOwner(pass *Pass) {
+	m := collectMarkers(pass)
+	if len(m.workerTypes) == 0 {
+		return
+	}
+	cg := flow.NewCallGraph(pass.Files, pass.Info)
+	var roots []*types.Func
+	for typ := range m.workerTypes {
+		roots = append(roots, cg.MethodsOf(typ)...)
+	}
+	world := cg.ReachableFrom(roots)
+
+	for fn := range world {
+		fd := cg.DeclOf(fn)
+		if fd == nil {
+			continue
+		}
+		isWorkerMethod := m.workerTypes[flow.RecvNamed(fn)]
+		if !isWorkerMethod && !m.seqFuncs[fn] {
+			checkOwnedWrites(pass, m, fn, fd)
+		}
+		if !m.seqFuncs[fn] {
+			checkSeqCalls(pass, m, fd)
+		}
+	}
+}
+
+// checkOwnedWrites flags writes to //lint:owner-writes fields from a
+// function that runs in the worker call tree without being a worker
+// method.
+func checkOwnedWrites(pass *Pass, m *markers, fn *types.Func, fd *ast.FuncDecl) {
+	report := func(pos ast.Node, field *types.Var) {
+		pass.Reportf(pos.Pos(), "cross-shard hazard: owner-written field %s is written from %s, which runs in the shard-worker call tree but is not a worker method — during a phase only the owning worker may write its shard (move the write into the worker, or behind the phase barrier)", field.Name(), fn.Name())
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if field := flow.FieldOf(pass.Info, lhs); field != nil && m.ownedFields[field] {
+					report(lhs, field)
+				}
+			}
+		case *ast.IncDecStmt:
+			if field := flow.FieldOf(pass.Info, n.X); field != nil && m.ownedFields[field] {
+				report(n.X, field)
+			}
+		}
+		return true
+	})
+}
+
+// checkSeqCalls flags direct calls from the worker call tree into
+// //lint:phase-sequential functions. Only the boundary call is
+// reported: a sequential function calling another sequential function
+// is the coordinator's business.
+func checkSeqCalls(pass *Pass, m *markers, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeOf(pass.Info, call)
+		if callee == nil || !m.seqFuncs[callee] {
+			return true
+		}
+		pass.Reportf(call.Pos(), "phase-sequential function %s is called from the shard-worker call tree: it mutates coordinator state frozen for the phase (the engine flattens/serializes so workers never need it — run it between phase barriers)", callee.Name())
+		return true
+	})
+}

@@ -1,0 +1,438 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mahjong/internal/lint/flow"
+)
+
+// SlotBalance checks that acquired scheduler resources reach a release
+// on every control-flow path, including the paths a panic takes.
+//
+// Two acquire/release protocols are covered:
+//
+//   - sched queue slots: Queue.Pop hands out a per-class in-flight slot
+//     that Queue.Done must return (Done also feeds the service-time
+//     EWMA that admission control estimates queue waits from). A leaked
+//     slot permanently shrinks the class's concurrency share, and the
+//     EWMA silently degrades — the kind of bug that only surfaces as
+//     slow starvation under load.
+//
+//   - trace spans: Ctx.Start opens a span that End/Close/FailTag/
+//     CloseAborted must close. An unclosed span corrupts the tracer's
+//     open-span accounting and loses the stage timing the export relies
+//     on.
+//
+// The check is a may-path walk on the CFG: from each acquire, a release
+// kills the path; reaching function exit un-killed is a leak. The
+// not-acquired branch of `it, ok := q.Pop(); if !ok { return }` is
+// pruned — the edge proves ok is false, so that return never held a
+// slot. Panic edges are handled by convention, matching recoverseam: a
+// deferred release (defer sp.CloseAborted(), defer q.Done(...)) covers
+// every path including unwinding; without one, any call to a module
+// function that is not itself recover-guarded may panic past the
+// release, and the acquire is flagged.
+//
+// Ownership transfers are respected: a span stored into a struct field,
+// returned, or passed to another function escapes this function's
+// balance obligation (the adopter closes it — server.go's j.qspan
+// lifecycle). A Pop whose release is delegated to a helper that calls
+// Done (directly or deferred) is balanced at the helper call.
+var SlotBalance = &Analyzer{
+	Name: "slotbalance",
+	Doc: "every sched.Queue.Pop slot and trace span Start must reach its release (Done / " +
+		"End-Close-FailTag-CloseAborted) on all CFG paths; panic paths require a deferred release",
+	RunModule: runSlotBalance,
+}
+
+// spanClosers are the Span methods that close the span.
+var spanClosers = map[string]bool{
+	"End": true, "Close": true, "FailTag": true, "CloseAborted": true,
+}
+
+func runSlotBalance(mp *ModulePass) {
+	// Module-wide context: which packages are part of this load (their
+	// functions can panic; everything imported from export data is
+	// outside the module's recover conventions and treated as total),
+	// every function's syntax, and which functions release a sched slot
+	// on the caller's behalf.
+	loaded := make(map[string]bool)
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	releasers := make(map[*types.Func]bool)
+	for _, pkg := range mp.Pkgs {
+		loaded[pkg.Types.Path()] = true
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				decls[fn] = fd
+				if containsSchedDone(pkg.Info, fd.Body) {
+					releasers[fn] = true
+				}
+			}
+		}
+	}
+	for _, pkg := range mp.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkSlots(mp, pkg, fd, loaded, decls, releasers)
+				checkSpans(mp, pkg, fd, loaded, decls)
+			}
+		}
+	}
+}
+
+// isSchedCall reports whether call invokes the named method of
+// sched.Queue.
+func isSchedCall(info *types.Info, call *ast.CallExpr, method string) bool {
+	fn := calleeOf(info, call)
+	return fn != nil && fn.Name() == method && fromPackage(fn, "sched", "mahjong/internal/sched")
+}
+
+// containsSchedDone reports whether n contains a sched Done call
+// outside nested function literals.
+func containsSchedDone(info *types.Info, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok && c != n {
+			// A closure's Done runs when the closure runs — except a
+			// deferred one, which is this function's own exit path.
+			return false
+		}
+		if call, ok := c.(*ast.CallExpr); ok && isSchedCall(info, call, "Done") {
+			found = true
+		}
+		return !found
+	})
+	if found {
+		return true
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		def, ok := c.(*ast.DeferStmt)
+		if !ok {
+			return !found
+		}
+		ast.Inspect(def.Call, func(d ast.Node) bool {
+			if call, ok := d.(*ast.CallExpr); ok && isSchedCall(info, call, "Done") {
+				found = true
+			}
+			return !found
+		})
+		return !found
+	})
+	return found
+}
+
+// checkSlots verifies Pop/Done balance in one function.
+func checkSlots(mp *ModulePass, pkg *Package, fd *ast.FuncDecl, loaded map[string]bool, decls map[*types.Func]*ast.FuncDecl, releasers map[*types.Func]bool) {
+	g := pkg.CFG(fd)
+	// releaseIn: a direct Done, or a call into a helper that Dones.
+	releaseIn := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(c ast.Node) bool {
+			if _, ok := c.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := c.(*ast.CallExpr); ok {
+				if isSchedCall(pkg.Info, call, "Done") {
+					found = true
+				} else if fn := calleeOf(pkg.Info, call); fn != nil && releasers[fn] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	deferredRelease := hasDeferredRelease(pkg.Info, fd.Body, func(call *ast.CallExpr) bool {
+		if isSchedCall(pkg.Info, call, "Done") {
+			return true
+		}
+		fn := calleeOf(pkg.Info, call)
+		return fn != nil && releasers[fn]
+	})
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok || len(asg.Rhs) != 1 {
+				continue
+			}
+			call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr)
+			if !ok || !isSchedCall(pkg.Info, call, "Pop") {
+				continue
+			}
+			var okObj types.Object
+			if len(asg.Lhs) == 2 {
+				if id, ok := ast.Unparen(asg.Lhs[1]).(*ast.Ident); ok && id.Name != "_" {
+					okObj = pkg.Info.Defs[id]
+					if okObj == nil {
+						okObj = pkg.Info.Uses[id]
+					}
+				}
+			}
+			checkBalance(mp, pkg, fd, g, n, balanceCheck{
+				kind:     "sched queue slot from " + types.ExprString(call.Fun),
+				fix:      "call Done on every path, ideally `defer q.Done(...)` right after the acquire",
+				release:  releaseIn,
+				okObj:    okObj,
+				deferred: deferredRelease,
+				loaded:   loaded,
+				decls:    decls,
+			})
+		}
+	}
+}
+
+// checkSpans verifies Start/close balance for trace spans held in a
+// local variable for the function's own duration.
+func checkSpans(mp *ModulePass, pkg *Package, fd *ast.FuncDecl, loaded map[string]bool, decls map[*types.Func]*ast.FuncDecl) {
+	g := pkg.CFG(fd)
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok || len(asg.Rhs) != 1 || len(asg.Lhs) != 1 {
+				continue
+			}
+			call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fn := calleeOf(pkg.Info, call)
+			if fn == nil || fn.Name() != "Start" || !fromPackage(fn, "trace", "mahjong/internal/trace") {
+				continue
+			}
+			id, ok := ast.Unparen(asg.Lhs[0]).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			sp := pkg.Info.Defs[id]
+			if sp == nil {
+				sp = pkg.Info.Uses[id]
+			}
+			if sp == nil || spanEscapes(pkg.Info, fd.Body, sp) {
+				// The span's ownership moves elsewhere (field store,
+				// return, passed along): the adopter closes it.
+				continue
+			}
+			releaseIn := func(n ast.Node) bool { return closesSpan(pkg.Info, n, sp) }
+			deferred := hasDeferredRelease(pkg.Info, fd.Body, func(call *ast.CallExpr) bool {
+				return closesSpan(pkg.Info, call, sp)
+			})
+			label := "trace span " + sp.Name()
+			if len(call.Args) > 0 {
+				if stage, ok := stringVal(pkg.Info, call.Args[0]); ok {
+					label = "trace span " + sp.Name() + " (" + stage + ")"
+				}
+			}
+			checkBalance(mp, pkg, fd, g, n, balanceCheck{
+				kind:     label,
+				fix:      "close it on every path — the module convention is `defer " + sp.Name() + ".CloseAborted()` right after Start, with End/Close on the success path",
+				release:  releaseIn,
+				okObj:    nil,
+				deferred: deferred,
+				loaded:   loaded,
+				decls:    decls,
+			})
+		}
+	}
+}
+
+// balanceCheck bundles the per-resource parameters of one walk.
+type balanceCheck struct {
+	kind     string
+	fix      string
+	release  func(ast.Node) bool
+	okObj    types.Object // prune edges proving this bool false (failed acquire)
+	deferred bool
+	loaded   map[string]bool
+	decls    map[*types.Func]*ast.FuncDecl
+}
+
+// checkBalance walks forward from the acquire node and reports leaks.
+func checkBalance(mp *ModulePass, pkg *Package, fd *ast.FuncDecl, g *flow.Graph, acquire ast.Node, c balanceCheck) {
+	if c.deferred {
+		// A deferred release covers every path out of the function,
+		// panics included.
+		return
+	}
+	released := false
+	var panicky ast.Node
+	w := &flow.Walk{
+		G: g,
+		Kill: func(n ast.Node) bool {
+			if c.release(n) {
+				released = true
+				return true
+			}
+			return false
+		},
+	}
+	if c.okObj != nil {
+		w.Prune = func(e flow.Edge) bool { return flow.EdgeProvesFalse(pkg.Info, e, c.okObj) }
+	}
+	leaks := w.From(acquire, func(n ast.Node) bool {
+		if panicky == nil && mayPanic(pkg.Info, n, c.loaded, c.decls) {
+			panicky = n
+		}
+		return true
+	})
+	switch {
+	case leaks:
+		mp.Reportf(acquire.Pos(), "%s is not released on every path: some path reaches return without the release — %s", c.kind, c.fix)
+	case !released:
+		mp.Reportf(acquire.Pos(), "%s is never released in this function — %s", c.kind, c.fix)
+	case panicky != nil:
+		mp.Reportf(acquire.Pos(), "%s leaks if a call between acquire and release panics (first such call at line %d is not recover-guarded) — release in a defer so unwinding returns it", c.kind, pkg.Fset.Position(panicky.Pos()).Line)
+	}
+}
+
+// hasDeferredRelease reports whether some defer in body (directly or
+// via a deferred closure) performs a release.
+func hasDeferredRelease(info *types.Info, body *ast.BlockStmt, isRelease func(*ast.CallExpr) bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		def, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return !found
+		}
+		if isRelease(def.Call) {
+			found = true
+			return false
+		}
+		if lit, ok := def.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(d ast.Node) bool {
+				if call, ok := d.(*ast.CallExpr); ok && isRelease(call) {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// closesSpan reports whether n contains a closing method call on the
+// span object sp, outside nested function literals.
+func closesSpan(info *types.Info, n ast.Node, sp types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok && c != n {
+			return false
+		}
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !spanClosers[sel.Sel.Name] {
+			return !found
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && info.Uses[id] == sp {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// spanEscapes reports whether the span object is used anywhere except
+// as the receiver of a method call: passed as an argument, stored,
+// returned, or aliased — all transfers of the balance obligation.
+func spanEscapes(info *types.Info, body *ast.BlockStmt, sp types.Object) bool {
+	receiverUse := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && info.Uses[id] == sp {
+				receiverUse[id] = true
+			}
+		}
+		return true
+	})
+	escapes := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == sp && !receiverUse[id] {
+			escapes = true
+		}
+		return !escapes
+	})
+	return escapes
+}
+
+// mayPanic reports whether executing n can panic out of this function:
+// an explicit panic, or a call to a function from a loaded module
+// package that is not itself recover-guarded. Calls resolved from
+// export data (the standard library, out-of-load packages) are assumed
+// total — the rule encodes the module's recoverseam convention, not a
+// whole-program analysis.
+func mayPanic(info *types.Info, n ast.Node, loaded map[string]bool, decls map[*types.Func]*ast.FuncDecl) bool {
+	may := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok && c != n {
+			return false
+		}
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return !may
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+			if _, shadowed := info.Uses[id].(*types.Func); !shadowed {
+				may = true
+				return false
+			}
+		}
+		fn := calleeOf(info, call)
+		if fn == nil || fn.Pkg() == nil || !loaded[fn.Pkg().Path()] {
+			return !may
+		}
+		fd := decls[fn]
+		if fd == nil || !recoverGuarded(fd) {
+			may = true
+		}
+		return !may
+	})
+	return may
+}
+
+// recoverGuarded reports whether fd installs a recover seam: a deferred
+// closure calling recover, or a deferred call into the failure
+// package's recovery helpers.
+func recoverGuarded(fd *ast.FuncDecl) bool {
+	guarded := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		def, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return !guarded
+		}
+		ast.Inspect(def.Call, func(d ast.Node) bool {
+			switch d := d.(type) {
+			case *ast.Ident:
+				if d.Name == "recover" {
+					guarded = true
+				}
+			case *ast.SelectorExpr:
+				if d.Sel.Name == "Recover" {
+					guarded = true
+				}
+			}
+			return !guarded
+		})
+		return !guarded
+	})
+	return guarded
+}

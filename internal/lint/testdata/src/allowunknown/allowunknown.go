@@ -1,0 +1,26 @@
+// Package allowunknown is a linttest fixture for //lint:allow analyzer-name
+// validation, asserted on directly in lint_test.go (an allow comment cannot
+// also carry a want comment — a line holds one comment).
+//
+// Expected diagnostics, exactly three:
+//
+//   - a "lint" diagnostic at the typo'd allow below: "ctxflw" names no
+//     analyzer, so the suppression is dead and must not pass silently;
+//
+//   - the ctxflow diagnostic on that same line, which the dead allow
+//     failed to suppress;
+//
+//   - a "lint" diagnostic for the allow naming an analyzer that never
+//     existed, on a line with nothing to suppress — dead suppressions are
+//     reported wherever they sit, not only where they mask a finding.
+package allowunknown
+
+import "context"
+
+var typod = context.Background() //lint:allow ctxflw justified in words but the name is a typo
+
+// A correctly named, justified allow still works.
+var shimmed = context.Background() //lint:allow ctxflow fixture: justified allow on the same line
+
+//lint:allow nosuchanalyzer this analyzer never existed
+var fine = 1

@@ -1,0 +1,71 @@
+// Package atomicmix is a linttest fixture for the atomicmix analyzer.
+// Forest below reproduces, almost line for line, the union-find race
+// the module shipped before the parallel-solver hardening: a plain
+// int64 set counter that Union updated through atomic.AddInt64 while
+// Sets read it bare. The production fix was an atomic.Int64 field; the
+// analyzer exists so the mixed form can never come back.
+package atomicmix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Forest is the pre-fix union-find bookkeeping shape.
+type Forest struct {
+	parent []int32
+	sets   int64 // disjoint-set count; see the race below
+}
+
+func NewForest(n int) *Forest {
+	f := &Forest{parent: make([]int32, n)}
+	f.sets = int64(n) // want "field sets is accessed via sync/atomic elsewhere; this plain access races"
+	return f
+}
+
+// Union merges two sets, decrementing the counter atomically — which
+// silently declares every OTHER access site atomic too.
+func (f *Forest) Union(a, b int32) {
+	f.parent[b] = a
+	atomic.AddInt64(&f.sets, -1)
+}
+
+// Sets is the racy read: no happens-before with Union's AddInt64.
+func (f *Forest) Sets() int {
+	return int(f.sets) // want "field sets is accessed via sync/atomic elsewhere; this plain access races"
+}
+
+// guarded shows the subtler mistake: taking a mutex around the plain
+// access. The mutex orders this critical section against other users of
+// the same mutex — and nothing else; Union never locks it.
+type guarded struct {
+	mu     sync.Mutex
+	hits   int64
+	misses int64
+}
+
+func (g *guarded) record() {
+	atomic.AddInt64(&g.hits, 1)
+}
+
+func (g *guarded) snapshot() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.hits // want "mutex-guarded plain access still races"
+}
+
+// misses is only ever touched under the mutex — consistent, no finding.
+func (g *guarded) miss() {
+	g.mu.Lock()
+	g.misses++
+	g.mu.Unlock()
+}
+
+// allAtomic is the fixed form: every access goes through sync/atomic.
+type allAtomic struct {
+	n int64
+}
+
+func (a *allAtomic) inc() { atomic.AddInt64(&a.n, 1) }
+
+func (a *allAtomic) get() int64 { return atomic.LoadInt64(&a.n) }

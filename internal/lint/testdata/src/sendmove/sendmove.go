@@ -1,0 +1,117 @@
+// Package sendmove is a linttest fixture for the sendmove analyzer: the
+// use-after-move discipline for *bitset.Set values that cross an
+// ownership boundary — a shard-queue send/push, or a store into an
+// //lint:adopts field. It mirrors the shapes in internal/pta's shard
+// workers, including the ones the old syntactic bitsetalias rule could
+// not tell apart.
+package sendmove
+
+import "mahjong/internal/bitset"
+
+// msg is a shard-queue message; the receiver adopts its set.
+type msg struct {
+	target int
+	set    *bitset.Set
+}
+
+// queue stands in for the SPSC shard queue.
+type queue struct {
+	buf []msg
+}
+
+func (q *queue) send(m msg) { q.buf = append(q.buf, m) }
+
+// sink mirrors shardState: fired entries are adopted by the coordinator
+// during the drain barrier, so a store into it transfers ownership.
+type sink struct {
+	fired map[int]*bitset.Set //lint:adopts the drain barrier releases these
+	// pending is deliberately unmarked: the owner publishes the set and
+	// keeps filling it (the solver's publish-then-fill idiom).
+	pending map[int]*bitset.Set
+}
+
+// pool is the local free list, as in the solver.
+type pool struct{ free []*bitset.Set }
+
+func (p *pool) grabSet() *bitset.Set {
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		return s
+	}
+	return bitset.New(64)
+}
+
+// useAfterSend keeps touching a set it already gave away.
+func (p *pool) useAfterSend(q *queue, target int) {
+	s := p.grabSet()
+	s.Add(target)
+	q.send(msg{target: target, set: s})
+	s.Add(target + 1) // want "s is used after being moved into a shard-queue send"
+}
+
+// sendThenReturn is the good shape: nothing after the move.
+func (p *pool) sendThenReturn(q *queue, target int) {
+	s := p.grabSet()
+	s.Add(target)
+	q.send(msg{target: target, set: s})
+}
+
+// storeThenReturn mirrors shardState.process: the store into the
+// adopting map is the last touch on that path.
+func (p *pool) storeThenReturn(k *sink, id int, big bool) {
+	delta := p.grabSet()
+	delta.Add(id)
+	if big {
+		k.fired[id] = delta
+		return
+	}
+	p.free = append(p.free, delta)
+}
+
+// useAfterAdopt reads through the alias after the adopting store.
+func (p *pool) useAfterAdopt(k *sink, id int) int {
+	delta := p.grabSet()
+	delta.Add(id)
+	k.fired[id] = delta
+	return delta.Len() // want "delta is used after being moved into the adopting field k.fired"
+}
+
+// branchMerge moves on one branch only; the use after the join is a
+// use-after-move on that path. The old straight-line rule missed this.
+func (p *pool) branchMerge(q *queue, id int, flush bool) {
+	s := p.grabSet()
+	s.Add(id)
+	if flush {
+		q.send(msg{target: id, set: s})
+	}
+	s.Add(id + 1) // want "s is used after being moved into a shard-queue send"
+}
+
+// regrabbed re-binds the variable after the move: the fresh set is
+// owned again, so the later use is fine.
+func (p *pool) regrabbed(q *queue, id int) {
+	s := p.grabSet()
+	q.send(msg{target: id, set: s})
+	s = p.grabSet()
+	s.Add(id)
+}
+
+// loopRebind moves inside a loop whose next iteration re-grabs: the
+// back edge redefines s, so no use-after-move.
+func (p *pool) loopRebind(q *queue, ids []int) {
+	for _, id := range ids {
+		s := p.grabSet()
+		s.Add(id)
+		q.send(msg{target: id, set: s})
+	}
+}
+
+// publishThenFill stores into the UNMARKED pending map and keeps
+// writing through the alias — the solver's owner-side idiom, not a
+// move; no finding.
+func (p *pool) publishThenFill(k *sink, id int) {
+	s := p.grabSet()
+	k.pending[id] = s
+	s.Add(id)
+}

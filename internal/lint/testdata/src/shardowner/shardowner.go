@@ -1,0 +1,92 @@
+// Package shardowner is a linttest fixture for the shardowner
+// analyzer: the parallel solver's owner-writes discipline, declared
+// through //lint:shard-worker, //lint:owner-writes and
+// //lint:phase-sequential markers and enforced over the package-local
+// call graph.
+package shardowner
+
+// state is the coordinator, a miniature of the solver: pending and
+// queued are sharded across workers during a phase, parent is the
+// union-find forest frozen by the pre-phase flatten.
+type state struct {
+	pending []int  //lint:owner-writes sharded by class-contiguous ranges
+	queued  []bool //lint:owner-writes
+	parent  []int
+	epoch   int
+}
+
+// find path-compresses parent links — every caller observes the
+// mutation, so it must never run while workers read the forest.
+//
+//lint:phase-sequential the pre-phase flatten exists so workers never need this
+func (s *state) find(x int) int {
+	for s.parent[x] != x {
+		s.parent[x] = s.parent[s.parent[x]]
+		x = s.parent[x]
+	}
+	return x
+}
+
+// barrier runs between phases; the coordinator owns everything here.
+func (s *state) barrier() {
+	for i := range s.queued {
+		s.queued[i] = false // coordinator, outside the worker tree: fine
+		s.pending[i] = 0
+	}
+	s.epoch++
+	_ = s.find(0) // called outside the worker tree: the coordinator may compress
+}
+
+// worker owns one contiguous shard of the coordinator's arrays for the
+// duration of a phase.
+//
+//lint:shard-worker
+type worker struct {
+	id   int
+	lo   int
+	hi   int
+	eng  *state
+	next []int
+}
+
+// run is the phase body: writes to the owned fields from worker methods
+// are the owner writing its shard — allowed.
+func (w *worker) run() {
+	for i := w.lo; i < w.hi; i++ {
+		w.eng.pending[i] = w.id
+		w.eng.queued[i] = true
+	}
+	w.step()
+}
+
+// step shows the two hazards.
+func (w *worker) step() {
+	stash(w.eng, w.lo)       // pulls stash into the worker call tree
+	root := w.eng.find(w.lo) // want "phase-sequential function find is called from the shard-worker call tree"
+	w.next = append(w.next, root)
+	go func() {
+		// Goroutine bodies belong to the enclosing worker method.
+		w.eng.queued[w.hi-1] = true // owner writing its shard: fine
+		leak(w.eng)
+	}()
+}
+
+// stash is a plain helper reachable from the worker: it has no shard of
+// its own, so its write is a cross-shard hazard.
+func stash(s *state, id int) {
+	s.queued[id] = true // want "cross-shard hazard: owner-written field queued is written from stash"
+}
+
+// leak is reached only through the worker's goroutine closure — still
+// the worker call tree.
+func leak(s *state) {
+	s.pending[0]++ // want "cross-shard hazard: owner-written field pending is written from leak"
+}
+
+// rebuild is never called from a worker; its writes are coordinator
+// work between barriers.
+func rebuild(s *state) {
+	for i := range s.pending {
+		s.pending[i] = 0
+	}
+}

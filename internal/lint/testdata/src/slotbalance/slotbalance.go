@@ -1,0 +1,158 @@
+// Package slotbalance is a linttest fixture for the slotbalance
+// analyzer: sched.Queue Pop/Done slot balance and trace span
+// Start/close balance, on all CFG paths including the ones a panic
+// takes. It imports the real sched and trace packages so method
+// matching works as it does on module code.
+package slotbalance
+
+import (
+	"time"
+
+	"mahjong/internal/sched"
+	"mahjong/internal/trace"
+)
+
+// risky is a module function with no recover seam: per the module
+// convention it may panic out of its caller.
+func risky(it *sched.Item) {
+	_ = it.Payload
+}
+
+// shielded installs a recover seam, so callers survive its panics.
+func shielded(it *sched.Item) {
+	defer func() { _ = recover() }()
+	_ = it.Payload
+}
+
+// balancedLoop is the well-formed worker shape: the not-acquired branch
+// is pruned, and both continue paths release before looping.
+func balancedLoop(q *sched.Queue) {
+	for {
+		it, ok := q.Pop()
+		if !ok {
+			return
+		}
+		if it.Payload == nil {
+			q.Done(it.Class, 0)
+			continue
+		}
+		q.Done(it.Class, time.Millisecond)
+	}
+}
+
+// leakOnBranch forgets the early-return path.
+func leakOnBranch(q *sched.Queue, drop bool) {
+	it, ok := q.Pop() // want "sched queue slot from q.Pop is not released on every path"
+	if !ok {
+		return
+	}
+	if drop {
+		return
+	}
+	q.Done(it.Class, 0)
+}
+
+// drainForever never calls Done at all: every iteration leaks the
+// previous slot.
+func drainForever(q *sched.Queue) {
+	for {
+		it, ok := q.Pop() // want "sched queue slot from q.Pop is never released"
+		if !ok {
+			return
+		}
+		_ = it
+	}
+}
+
+// panicLeak releases on every normal path but calls an unguarded module
+// function while holding the slot, with no deferred Done.
+func panicLeak(q *sched.Queue) {
+	it, ok := q.Pop() // want "sched queue slot from q.Pop leaks if a call between acquire and release panics"
+	if !ok {
+		return
+	}
+	risky(it)
+	q.Done(it.Class, 0)
+}
+
+// deferredDone is the durable shape: the defer releases on panic paths
+// too, so the unguarded call is fine.
+func deferredDone(q *sched.Queue) {
+	it, ok := q.Pop()
+	if !ok {
+		return
+	}
+	defer q.Done(it.Class, 0)
+	risky(it)
+}
+
+// guardedCall holds the slot across a call that recovers its own
+// panics — balanced without a defer.
+func guardedCall(q *sched.Queue) {
+	it, ok := q.Pop()
+	if !ok {
+		return
+	}
+	shielded(it)
+	q.Done(it.Class, 0)
+}
+
+// handle releases the caller's slot (it calls Done), so delegating to
+// it balances the acquire.
+func handle(q *sched.Queue, it *sched.Item) {
+	defer q.Done(it.Class, 0)
+	risky(it)
+}
+
+func delegated(q *sched.Queue) {
+	it, ok := q.Pop()
+	if !ok {
+		return
+	}
+	handle(q, it)
+}
+
+// spanBalanced closes on the one path there is, nothing panicky in
+// between.
+func spanBalanced(tc trace.Ctx) {
+	sp := tc.Start("fixture.ok")
+	sp.Add("facts", 1)
+	sp.End()
+}
+
+// spanLeak forgets the error path.
+func spanLeak(tc trace.Ctx, fail bool) {
+	sp := tc.Start("fixture.leak") // want "trace span sp .fixture.leak. is not released on every path"
+	if fail {
+		return
+	}
+	sp.End()
+}
+
+// spanPanic holds an open span across an unguarded module call.
+func spanPanic(tc trace.Ctx, it *sched.Item) {
+	sp := tc.Start("fixture.panic") // want "trace span sp .fixture.panic. leaks if a call between acquire and release panics"
+	risky(it)
+	sp.End()
+}
+
+// spanDeferred follows the module convention: CloseAborted in a defer
+// right after Start, End on the success path.
+func spanDeferred(tc trace.Ctx, it *sched.Item) {
+	sp := tc.Start("fixture.deferred")
+	defer sp.CloseAborted()
+	risky(it)
+	sp.End()
+}
+
+// holder adopts a span stored into it.
+type holder struct {
+	qspan trace.Span
+}
+
+// spanEscapes hands the span's ownership to the holder (server.go's
+// j.qspan lifecycle): the balance obligation moves with it, no finding.
+func spanEscapes(tc trace.Ctx, h *holder) {
+	sp := tc.Start("fixture.escape")
+	h.qspan = sp
+}

@@ -98,6 +98,8 @@ func (q *spsc) pop() (shardMsg, bool) {
 // owns, a private worklist ring over those nodes, one inbound SPSC
 // queue per peer, and private set/scratch pools so the hot path
 // allocates nothing and shares nothing mutable.
+//
+//lint:shard-worker its methods and goroutine bodies are the in-phase call tree the shardowner analyzer polices
 type shardState struct {
 	eng *parEngine
 	id  int
@@ -111,7 +113,7 @@ type shardState struct {
 	// fired collects, per processed node, the union of deltas whose
 	// var-site reactions (loads/stores/invokes — all graph growth) are
 	// deferred to the sequential coordinator at phase end.
-	fired map[int32]*bitset.Set
+	fired map[int32]*bitset.Set //lint:adopts the drain barrier owns and releases stored sets
 
 	// remoteTgts[w] accumulates, during one node's fan-out, the
 	// destinations owned by worker w that the unfiltered delta must

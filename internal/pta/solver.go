@@ -256,8 +256,8 @@ type solver struct {
 	meterErr   error           // the exhaustion error behind errMeterSentinel
 
 	worklist intRing
-	queued   []bool
-	pending  []*bitset.Set
+	queued   []bool        //lint:owner-writes sharded by the class-contiguous renumbering during parallel phases
+	pending  []*bitset.Set //lint:owner-writes each worker writes only its shard's entries mid-phase
 	freeSets []*bitset.Set // cleared delta sets, reused by grabSet
 
 	// copy-cycle collapsing state (nil/zero under Options.NoOpt)
@@ -584,6 +584,8 @@ func (s *solver) pollInterrupt() {
 
 // find resolves a node id to its cycle representative; the identity
 // until the first collapse (and always under NoOpt).
+//
+//lint:phase-sequential path-compresses parent links; the engine flattens the forest pre-phase so workers never need it
 func (s *solver) find(id int) int {
 	if s.reps == nil || id >= s.reps.Len() {
 		return id
@@ -618,6 +620,8 @@ func (s *solver) releaseSet(p *bitset.Set) {
 
 // mask returns filter's class-indexed object mask, extending it over
 // any CSObjs interned since the last use.
+//
+//lint:phase-sequential lazily extends the mask map; prep warms every mask so workers only ever read them
 func (s *solver) mask(filter *lang.Class) *bitset.Set {
 	m := s.masks[filter]
 	if m == nil {
@@ -744,6 +748,8 @@ func (s *solver) csObj(ctx *Context, o *Obj) int {
 
 // addPts merges set into node id's points-to set, queueing the newly
 // added part for propagation. set is only read, never retained.
+//
+//lint:phase-sequential calls find and the global worklist; workers use localAddPts on owned shards instead
 func (s *solver) addPts(id int, set *bitset.Set) {
 	if set == nil || set.IsEmpty() {
 		return
@@ -769,6 +775,8 @@ func (s *solver) addPts(id int, set *bitset.Set) {
 }
 
 // addPtsOne adds a single object without building a one-bit set.
+//
+//lint:phase-sequential see addPts
 func (s *solver) addPtsOne(id, obj int) {
 	id = s.find(id)
 	wordsBefore := s.nodes[id].pts.Words()
@@ -785,6 +793,7 @@ func (s *solver) addPtsOne(id, obj int) {
 	s.queue(id)
 }
 
+//lint:phase-sequential pushes onto the coordinator's global worklist; workers queue onto their private rings instead
 func (s *solver) queue(id int) {
 	if !s.queued[id] {
 		s.queued[id] = true

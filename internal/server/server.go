@@ -530,18 +530,27 @@ func (s *Server) worker() {
 		if !ok { // scheduler closed: shutdown
 			return
 		}
-		j, isJob := it.Payload.(*job)
-		if !isJob {
-			s.schedq.Done(it.Class, 0)
-			continue
-		}
-		start := time.Now()
-		s.runJob(j)
-		// Report the observed service time back to the scheduler: it
-		// feeds the per-class EWMA that admission control and the
-		// degradation ladder estimate queue waits from.
-		s.schedq.Done(it.Class, time.Since(start))
+		s.serve(it)
 	}
+}
+
+// serve runs one popped item and returns its per-class in-flight slot.
+// The release is deferred: if anything under runJob panics past its
+// recover seams, the slot still comes back during unwinding — a leaked
+// slot would permanently shrink the class's concurrency share and
+// silently starve admission control.
+func (s *Server) serve(it *sched.Item) {
+	j, isJob := it.Payload.(*job)
+	if !isJob {
+		s.schedq.Done(it.Class, 0)
+		return
+	}
+	start := time.Now()
+	// Report the observed service time back to the scheduler: it feeds
+	// the per-class EWMA that admission control and the degradation
+	// ladder estimate queue waits from.
+	defer func() { s.schedq.Done(it.Class, time.Since(start)) }()
+	s.runJob(j)
 }
 
 func (s *Server) runJob(j *job) {
@@ -894,12 +903,7 @@ func (s *Server) abstractionFor(ctx context.Context, j *job, prog *mahjong.Progr
 			j.mu.Unlock()
 			s.metrics.deltaFallbacks.Add(1)
 		}
-		// The fault-injection seam corrupts cached bytes here, the same
-		// place bit rot or a buggy serializer would.
-		sp := tc.Start(faultinject.StageCacheLoad)
-		data = faultinject.Mutate(faultinject.StageCacheLoad, data)
-		abs, err := mahjong.LoadAbstraction(bytes.NewReader(data), prog)
-		sp.Close(err)
+		abs, err := loadCachedAbstraction(tc, data, prog)
 		if err == nil {
 			return abs, true, nil
 		}
@@ -913,6 +917,20 @@ func (s *Server) abstractionFor(ctx context.Context, j *job, prog *mahjong.Progr
 		// First corruption for this job: the poisoned entry is gone;
 		// loop to rebuild from scratch.
 	}
+}
+
+// loadCachedAbstraction rebinds cached abstraction bytes to prog under
+// their own trace span. The fault-injection seam corrupts the bytes
+// here, the same place bit rot or a buggy serializer would; the
+// deferred CloseAborted keeps the span from dangling if the load panics
+// instead of returning an error.
+func loadCachedAbstraction(tc trace.Ctx, data []byte, prog *mahjong.Program) (*mahjong.Abstraction, error) {
+	sp := tc.Start(faultinject.StageCacheLoad)
+	defer sp.CloseAborted()
+	data = faultinject.Mutate(faultinject.StageCacheLoad, data)
+	abs, err := mahjong.LoadAbstraction(bytes.NewReader(data), prog)
+	sp.Close(err)
+	return abs, err
 }
 
 // ---- status and control ----
