@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint lint-self serve race clean bench bench-save bench-server bench-server-save deltacheck slowcheck faultmatrix fuzz-smoke trace-smoke cover
+.PHONY: build test lint lint-self serve race clean bench bench-save bench-server bench-server-save deltacheck slowcheck faultmatrix fuzz-smoke trace-smoke cover scenariocheck corpus
 
 # Optional analyzer subset for `make lint`, passed straight through to
 # mahjongvet: `make lint RUN=atomicmix` or RUN=shardowner,sendmove.
@@ -79,6 +79,18 @@ fuzz-smoke: ## 10-second fuzz pass over the mahjongd submission endpoint
 
 trace-smoke: ## deterministic span traces: golden exports + span accounting over examples/
 	$(GO) test ./internal/integration -run 'TestTraceExportGolden|TestSpanAccounting' -count=1
+
+# The corpus differential drives every committed adversarial program
+# (testdata/corpus/) through all four A/B axes — mahjong-vs-alloc-site,
+# parallel-vs-sequential, warm-vs-cold incremental, renumber on/off —
+# under the race detector. On a divergence the harness shrinks a minimal
+# reproducer into $(MAHJONG_SCENARIO_ARTIFACTS) (CI uploads that
+# directory). docs/SCENARIO.md has the full story.
+scenariocheck: ## corpus differential + searcher/shrinker acceptance under -race
+	$(GO) test -race -count=1 ./internal/scenario/ ./cmd/synthgen/ -v
+
+corpus: ## regenerate the committed adversarial corpus (must be a no-op unless the searcher changed)
+	$(GO) run ./cmd/synthgen -search -seed=1 -out=testdata/corpus
 
 cover: ## coverage over ./internal/... with the recorded floor (docs/OBSERVABILITY.md)
 	$(GO) test -coverprofile=cover.out ./internal/...

@@ -180,6 +180,9 @@ func main() {
 		*analysis, cfg.Heap, rep.Time.Round(1e5), rep.Work, rep.CSObjects, rep.CSMethods)
 	fmt.Printf("clients: %d call-graph edges, %d poly call sites, %d may-fail casts, %d reachable methods\n",
 		rep.Metrics.CallGraphEdges, rep.Metrics.PolyCallSites, rep.Metrics.MayFailCasts, rep.Metrics.Reachable)
+	fmt.Printf("clients: %d escaping / %d stackable sites, %d may-null loads, %d/%d tainted sinks\n",
+		rep.Metrics.EscapingSites, rep.Metrics.StackAllocSites, rep.Metrics.MayNullLoads,
+		rep.Metrics.TaintedSinks, rep.Metrics.TaintSinks)
 	if *stats {
 		printSolverStats(rep)
 	}

@@ -3,6 +3,8 @@ package bench
 import (
 	"strings"
 	"testing"
+
+	"mahjong/internal/clients"
 )
 
 // prepLuindex caches the smallest benchmark across tests in this file.
@@ -62,10 +64,17 @@ func TestAnalysisLineup(t *testing.T) {
 	}
 }
 
-// TestCellPrecisionShape checks the Table 2 invariants on luindex:
-// all cells scalable, M-A metrics equal to A metrics for every
-// analysis, and alloc-type strictly less precise.
+// TestCellPrecisionShape checks the Table 2 invariants on luindex: all
+// cells scalable, M-A equal to A on the paper's type-dependent clients
+// for every analysis, the identity-dependent escape client no more
+// precise under merging, and alloc-type strictly less precise.
 func TestCellPrecisionShape(t *testing.T) {
+	// The near-lossless claim covers the type-dependent clients only;
+	// identity-dependent metrics (escape, nullness, taint flow) may
+	// legitimately coarsen under merging and are checked by ordering.
+	typeDependent := func(m clients.Metrics) [4]int {
+		return [4]int{m.CallGraphEdges, m.PolyCallSites, m.MayFailCasts, m.Reachable}
+	}
 	p := prep(t, "luindex")
 	for _, a := range Analyses() {
 		base := p.RunCell(a, HeapAllocSite, 0)
@@ -73,8 +82,14 @@ func TestCellPrecisionShape(t *testing.T) {
 		if !base.Scalable || !mj.Scalable {
 			t.Fatalf("%s not scalable on luindex", a.Name)
 		}
-		if base.Metrics != mj.Metrics {
-			t.Errorf("%s: metrics differ: A=%+v M=%+v", a.Name, base.Metrics, mj.Metrics)
+		if typeDependent(base.Metrics) != typeDependent(mj.Metrics) {
+			t.Errorf("%s: type-dependent metrics differ: A=%+v M=%+v", a.Name, base.Metrics, mj.Metrics)
+		}
+		if base.Metrics.EscapingSites > mj.Metrics.EscapingSites ||
+			base.Metrics.TaintedSinks > mj.Metrics.TaintedSinks ||
+			mj.Metrics.StackAllocSites > base.Metrics.StackAllocSites {
+			t.Errorf("%s: merged heap more precise than alloc-site on identity clients: A=%+v M=%+v",
+				a.Name, base.Metrics, mj.Metrics)
 		}
 		if mj.Work > base.Work {
 			t.Errorf("%s: M-A did more work (%d) than A (%d)", a.Name, mj.Work, base.Work)

@@ -1,0 +1,92 @@
+// Searched-corpus cells for the experiment harness. External test
+// package: scenario (transitively) imports the root package, which the
+// bench package must not import.
+package bench_test
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"mahjong/internal/bench"
+	"mahjong/internal/scenario"
+)
+
+// TestScenarioCorpusCells runs committed adversarial corpus programs as
+// harness cells: the pipeline must prepare them, both heap abstractions
+// must scale, Mahjong must not use more abstract objects than the
+// allocation-site baseline, and the monotone client metrics must keep
+// their over-approximation ordering.
+func TestScenarioCorpusCells(t *testing.T) {
+	gens, _, err := scenario.LoadCorpus(filepath.Join("..", "..", "testdata", "corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := bench.AnalysisByName("ci")
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := 0
+	for _, g := range gens {
+		if g.Entry.Name != "combined-0" && g.Entry.Name != "fielddepth-0" && g.Entry.Name != "nearmiss-0" {
+			continue
+		}
+		p, err := bench.PrepareProgram(g.Entry.Name, g.Prog)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Entry.Name, err)
+		}
+		base := p.RunCell(ci, bench.HeapAllocSite, 0)
+		mahj := p.RunCell(ci, bench.HeapMahjong, 0)
+		if !base.Scalable || !mahj.Scalable {
+			t.Fatalf("%s: cell unscalable (base=%v mahjong=%v)", g.Entry.Name, base.Scalable, mahj.Scalable)
+		}
+		if mahj.CSObjs > base.CSObjs {
+			t.Errorf("%s: mahjong uses more objects (%d) than alloc-site (%d)", g.Entry.Name, mahj.CSObjs, base.CSObjs)
+		}
+		if mahj.CSObjs < base.CSObjs {
+			merged++
+		}
+		if base.Metrics.CallGraphEdges > mahj.Metrics.CallGraphEdges ||
+			base.Metrics.EscapingSites > mahj.Metrics.EscapingSites ||
+			base.Metrics.TaintedSinks > mahj.Metrics.TaintedSinks {
+			t.Errorf("%s: merged heap lost soundness on monotone metrics: base %+v, mahjong %+v",
+				g.Entry.Name, base.Metrics, mahj.Metrics)
+		}
+	}
+	if merged == 0 {
+		t.Error("no corpus program caused any merging — the corpus is not exercising the abstraction")
+	}
+}
+
+// TestScenarioScaleTier runs a 10x-and-up searched program through the
+// full pipeline. Off by default (it is the slow tier); enable with e.g.
+// MAHJONG_SCALETIER=10.
+func TestScenarioScaleTier(t *testing.T) {
+	scaleEnv := os.Getenv("MAHJONG_SCALETIER")
+	if scaleEnv == "" {
+		t.Skip("set MAHJONG_SCALETIER=10 (or higher) to run the scale tier")
+	}
+	scale, err := strconv.Atoi(scaleEnv)
+	if err != nil || scale < 10 {
+		t.Fatalf("MAHJONG_SCALETIER must be an integer >= 10, got %q", scaleEnv)
+	}
+	w := scenario.Want{FieldDepth: 6, PolyContainers: 2, NearMissFamilies: 2, CallGraphFanout: 12}
+	f, err := scenario.Search(w, scenario.Options{Seed: 8, Scale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := bench.PrepareProgram("scaletier", f.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := bench.AnalysisByName("ci")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := p.RunCell(ci, bench.HeapMahjong, 10*bench.DefaultBudget)
+	if !cell.Scalable {
+		t.Fatalf("scale-%d program unscalable at 10x budget (%d work units)", scale, cell.Work)
+	}
+	t.Logf("scale %d: %d stmts, %d cs-objects, %d work units", scale, f.Est.Stmts, cell.CSObjs, cell.Work)
+}

@@ -25,15 +25,33 @@ type Metrics struct {
 	MayFailCasts int
 	// Reachable counts reachable methods.
 	Reachable int
+	// EscapingSites and StackAllocSites partition the reachable
+	// allocation sites by the escape client (escape.go); fewer escaping
+	// sites is better.
+	EscapingSites   int
+	StackAllocSites int
+	// MayNullLoads counts instance-field loads that may observe an
+	// uninitialized field (nullness.go).
+	MayNullLoads int
+	// TaintedSinks counts sink calls a tainted object may reach, out of
+	// TaintSinks reachable sink calls (taint.go).
+	TaintedSinks int
+	TaintSinks   int
 }
 
 // Evaluate computes all client metrics from a points-to result.
 func Evaluate(r *pta.Result) Metrics {
+	esc := Escape(r)
 	return Metrics{
-		CallGraphEdges: r.NumCallGraphEdges(),
-		PolyCallSites:  len(PolyCallSites(r)),
-		MayFailCasts:   len(MayFailCasts(r)),
-		Reachable:      r.NumReachableMethods(),
+		CallGraphEdges:  r.NumCallGraphEdges(),
+		PolyCallSites:   len(PolyCallSites(r)),
+		MayFailCasts:    len(MayFailCasts(r)),
+		Reachable:       r.NumReachableMethods(),
+		EscapingSites:   len(esc.Escaping),
+		StackAllocSites: len(esc.Stackable),
+		MayNullLoads:    len(MayNullLoads(r)),
+		TaintedSinks:    len(TaintedSinks(r)),
+		TaintSinks:      len(TaintSinks(r)),
 	}
 }
 

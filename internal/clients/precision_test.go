@@ -1,0 +1,215 @@
+// Precision tests for the identity-dependent clients (escape, nullness,
+// taint) on degenerate programs, plus MayAlias property tests driven by
+// the scenario searcher. External test package: scenario imports
+// clients, so these tests must not live inside package clients.
+package clients_test
+
+import (
+	"testing"
+
+	"mahjong/internal/clients"
+	"mahjong/internal/lang"
+	"mahjong/internal/pta"
+	"mahjong/internal/scenario"
+)
+
+func solve(t *testing.T, p *lang.Program) *pta.Result {
+	t.Helper()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := pta.Solve(p, pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestNewClientsEmptyProgram: a program with no allocations, loads or
+// calls reports zero for every new metric.
+func TestNewClientsEmptyProgram(t *testing.T) {
+	p := lang.NewProgram()
+	m := p.NewClass("Main", nil).NewMethod("main", true, nil, nil)
+	m.AddReturn(nil)
+	p.SetEntry(m)
+	r := solve(t, p)
+	mt := clients.Evaluate(r)
+	if mt.EscapingSites != 0 || mt.StackAllocSites != 0 {
+		t.Errorf("escape on empty program: %+v", mt)
+	}
+	if mt.MayNullLoads != 0 {
+		t.Errorf("may-null loads on empty program: %d", mt.MayNullLoads)
+	}
+	if mt.TaintSinks != 0 || mt.TaintedSinks != 0 {
+		t.Errorf("taint on empty program: %+v", mt)
+	}
+}
+
+// TestEscapeSingleClass: one class, three sites — a method-confined
+// object is stackable; a static-store target and a call argument escape.
+func TestEscapeSingleClass(t *testing.T) {
+	p := lang.NewProgram()
+	a := p.NewClass("A", nil)
+	g := a.NewStaticField("g", a)
+	helper := a.NewMethod("use", true, []*lang.Class{a}, nil)
+	helper.AddReturn(nil)
+	m := p.NewClass("Main", nil).NewMethod("main", true, nil, nil)
+	x := m.NewVar("x", a)
+	y := m.NewVar("y", a)
+	z := m.NewVar("z", a)
+	sLocal := m.AddAlloc(x, a)
+	sStatic := m.AddAlloc(y, a)
+	sArg := m.AddAlloc(z, a)
+	m.AddStaticStore(g, y)
+	m.AddStaticCall(nil, helper, z)
+	m.AddReturn(nil)
+	p.SetEntry(m)
+
+	esc := clients.Escape(solve(t, p))
+	if len(esc.Stackable) != 1 || esc.Stackable[0] != sLocal {
+		t.Fatalf("stackable=%v want [%v]", esc.Stackable, sLocal)
+	}
+	if len(esc.Escaping) != 2 || esc.Escaping[0] != sStatic || esc.Escaping[1] != sArg {
+		t.Fatalf("escaping=%v want [%v %v]", esc.Escaping, sStatic, sArg)
+	}
+}
+
+// TestNullnessSingleClass: a load from a never-written field is may-null;
+// a load from a written field is not; a load whose base points nowhere is
+// vacuously non-null.
+func TestNullnessSingleClass(t *testing.T) {
+	p := lang.NewProgram()
+	a := p.NewClass("A", nil)
+	f := a.NewField("f", a)
+	g := a.NewField("g", a)
+	m := p.NewClass("Main", nil).NewMethod("main", true, nil, nil)
+	x := m.NewVar("x", a)
+	v := m.NewVar("v", a)
+	q := m.NewVar("q", a)
+	w := m.NewVar("w", a)
+	dead := m.NewVar("dead", a)
+	got := m.NewVar("got", a)
+	m.AddAlloc(x, a)
+	m.AddAlloc(v, a)
+	m.AddStore(x, g, v)     // g written
+	m.AddLoad(q, x, f)      // f never written: may-null
+	m.AddLoad(w, x, g)      // g written: fine
+	m.AddLoad(got, dead, f) // dead points nowhere: vacuous
+	m.AddReturn(nil)
+	p.SetEntry(m)
+
+	loads := clients.MayNullLoads(solve(t, p))
+	if len(loads) != 1 {
+		t.Fatalf("may-null loads=%v want exactly the x.f load", loads)
+	}
+	if loads[0].Load.Field != f {
+		t.Fatalf("flagged %s, want field f", loads[0])
+	}
+}
+
+// TestNewClientsExceptionOnly: a program whose only heap activity is
+// allocating and throwing an exception — the thrown object escapes, no
+// loads exist, and a non-Taint class triggers no taint.
+func TestNewClientsExceptionOnly(t *testing.T) {
+	p := lang.NewProgram()
+	errCls := p.NewClass("Err", nil)
+	lib := p.NewClass("Lib", nil)
+	boom := lib.NewMethod("boom", true, nil, nil)
+	ev := boom.NewVar("ev", errCls)
+	site := boom.AddAlloc(ev, errCls)
+	boom.AddThrow(ev)
+	boom.AddReturn(nil)
+	m := p.NewClass("Main", nil).NewMethod("main", true, nil, nil)
+	m.AddStaticCall(nil, boom)
+	m.AddReturn(nil)
+	p.SetEntry(m)
+
+	r := solve(t, p)
+	mt := clients.Evaluate(r)
+	esc := clients.Escape(r)
+	if len(esc.Escaping) != 1 || esc.Escaping[0] != site || len(esc.Stackable) != 0 {
+		t.Fatalf("thrown object must escape: %+v", esc)
+	}
+	if mt.MayNullLoads != 0 || mt.TaintSinks != 0 || mt.TaintedSinks != 0 {
+		t.Fatalf("unexpected nullness/taint on exception-only program: %+v", mt)
+	}
+}
+
+// TestTaintSingleFlow: a Taint-prefixed allocation reaching a sink-named
+// callee's argument is a tainted sink; clean data at a sink is not; a
+// non-sink call never counts. Dotted class names use the simple name.
+func TestTaintSingleFlow(t *testing.T) {
+	p := lang.NewProgram()
+	td := p.NewClass("io.TaintReq", nil)
+	str := p.NewClass("Str", nil)
+	lib := p.NewClass("Lib", nil)
+	sinkA := lib.NewMethod("sinkExec", true, []*lang.Class{td}, nil)
+	sinkA.AddReturn(nil)
+	sinkB := lib.NewMethod("sinkLog", true, []*lang.Class{str}, nil)
+	sinkB.AddReturn(nil)
+	other := lib.NewMethod("format", true, []*lang.Class{td}, nil)
+	other.AddReturn(nil)
+	m := p.NewClass("Main", nil).NewMethod("main", true, nil, nil)
+	x := m.NewVar("x", td)
+	s := m.NewVar("s", str)
+	m.AddAlloc(x, td)
+	m.AddAlloc(s, str)
+	hot := m.AddStaticCall(nil, sinkA, x)
+	m.AddStaticCall(nil, sinkB, s)
+	m.AddStaticCall(nil, other, x)
+	m.AddReturn(nil)
+	p.SetEntry(m)
+
+	r := solve(t, p)
+	if got := clients.TaintSinks(r); len(got) != 2 {
+		t.Fatalf("sinks=%v want the two sink* calls", got)
+	}
+	tainted := clients.TaintedSinks(r)
+	if len(tainted) != 1 || tainted[0] != hot {
+		t.Fatalf("tainted=%v want only the sinkExec call", tainted)
+	}
+}
+
+// TestMayAliasProperties checks reflexivity and symmetry of MayAlias on
+// programs produced by the scenario searcher — real multi-motif programs
+// rather than hand-built minimal ones. Reflexivity: a variable aliases
+// itself exactly when it points to anything. Symmetry: MayAlias(a,b) ==
+// MayAlias(b,a) for every pair of locals in a method.
+func TestMayAliasProperties(t *testing.T) {
+	wants := []scenario.Want{
+		{FieldDepth: 5, PolyContainers: 2},
+		{NearMissFamilies: 2, CallGraphFanout: 8},
+	}
+	for _, w := range wants {
+		f, err := scenario.Search(w, scenario.Options{Seed: 21})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := pta.Solve(f.Prog, pta.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkedPairs := 0
+		for _, meth := range f.Prog.Methods {
+			if meth.IsAbstract || !r.ReachableMethod(meth) {
+				continue
+			}
+			for i, a := range meth.Locals {
+				pointsSomewhere := len(r.VarTypes(a)) > 0
+				if got := clients.MayAlias(r, a, a); got != pointsSomewhere {
+					t.Fatalf("reflexivity: MayAlias(%v,%v)=%v but points-to non-empty=%v",
+						a, a, got, pointsSomewhere)
+				}
+				for _, b := range meth.Locals[i+1:] {
+					if clients.MayAlias(r, a, b) != clients.MayAlias(r, b, a) {
+						t.Fatalf("symmetry violated for %v, %v in %v", a, b, meth)
+					}
+					checkedPairs++
+				}
+			}
+		}
+		if checkedPairs == 0 {
+			t.Fatal("searched program yielded no variable pairs to check")
+		}
+	}
+}

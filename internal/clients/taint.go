@@ -1,0 +1,83 @@
+package clients
+
+import (
+	"sort"
+	"strings"
+
+	"mahjong/internal/lang"
+	"mahjong/internal/pta"
+)
+
+// The taint client is convention-based, so it needs no annotation
+// syntax in the IR: every allocation of a class whose simple name (the
+// segment after the last '.') starts with "Taint" produces a tainted
+// object, and every call whose callee's name starts with "sink" is a
+// sink. A sink is tainted when any argument may point to a tainted
+// object. Like the call-graph clients this is monotone under Mahjong
+// merging — only type-consistent (same-type) objects merge, so a merged
+// object is tainted exactly when its members are, and coarser points-to
+// sets can only add tainted pointees — which makes it a valid
+// Mahjong-vs-alloc-site differential oracle.
+
+// TaintSourceObj reports whether the abstract object is a taint source
+// by the naming convention.
+func TaintSourceObj(o *pta.Obj) bool {
+	name := o.Type.Name
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		name = name[i+1:]
+	}
+	return strings.HasPrefix(name, "Taint")
+}
+
+// taintSinkCall reports whether the invoke targets a sink by name.
+// Virtual calls use the statically resolved declaration; overrides keep
+// the name, so dispatch cannot launder a sink call.
+func taintSinkCall(inv *lang.Invoke) bool {
+	return inv.Callee != nil && strings.HasPrefix(inv.Callee.Name, "sink")
+}
+
+// TaintSinks returns every reachable sink call site, sorted by site ID.
+func TaintSinks(r *pta.Result) []*lang.Invoke {
+	var out []*lang.Invoke
+	for _, m := range r.Prog.Methods {
+		if m.IsAbstract || !r.ReachableMethod(m) {
+			continue
+		}
+		for _, st := range m.Stmts {
+			if inv, ok := st.(*lang.Invoke); ok && taintSinkCall(inv) {
+				out = append(out, inv)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TaintedSinks returns the reachable sink calls into which a tainted
+// object may flow through some argument, sorted by site ID.
+func TaintedSinks(r *pta.Result) []*lang.Invoke {
+	sinks := TaintSinks(r)
+	argOf := map[*lang.Var][]*lang.Invoke{}
+	for _, inv := range sinks {
+		for _, a := range inv.Args {
+			argOf[a] = append(argOf[a], inv)
+		}
+	}
+	tainted := map[*lang.Invoke]bool{}
+	r.ForEachVarObj(func(v *lang.Var, o *pta.Obj) {
+		invs := argOf[v]
+		if len(invs) == 0 || !TaintSourceObj(o) {
+			return
+		}
+		for _, inv := range invs {
+			tainted[inv] = true
+		}
+	})
+	var out []*lang.Invoke
+	for _, inv := range sinks {
+		if tainted[inv] {
+			out = append(out, inv)
+		}
+	}
+	return out
+}

@@ -48,6 +48,20 @@ func (p *Program) Object() *Class { return p.objectClass }
 // Class returns the class with the given name, or nil.
 func (p *Program) Class(name string) *Class { return p.classes[name] }
 
+// ConcreteSubtypes returns the allocatable classes conforming to t: every
+// non-interface class c with c.SubtypeOf(t), in declaration order. When t
+// itself is concrete it is included; for an interface with no implementors
+// the result is empty (such a type has no valid allocation).
+func (p *Program) ConcreteSubtypes(t *Class) []*Class {
+	var out []*Class
+	for _, c := range p.Classes {
+		if !c.IsInterface && c.SubtypeOf(t) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
 // NewClass creates a (non-interface) class. A nil super means the class
 // extends java.lang.Object, except for Object itself. It panics if the
 // name is already taken; IR construction errors are programming errors.

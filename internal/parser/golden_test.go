@@ -61,7 +61,10 @@ func TestGoldenAnalysisStable(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := clients.Evaluate(r)
-	want := clients.Metrics{CallGraphEdges: 1057, PolyCallSites: 24, MayFailCasts: 68, Reachable: 249}
+	want := clients.Metrics{
+		CallGraphEdges: 1057, PolyCallSites: 24, MayFailCasts: 68, Reachable: 249,
+		EscapingSites: 854, StackAllocSites: 4, MayNullLoads: 20,
+	}
 	if m != want {
 		t.Fatalf("golden metrics drifted: got %+v want %+v\n"+
 			"(if the generator or analysis changed intentionally, regenerate "+

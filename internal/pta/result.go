@@ -63,6 +63,24 @@ func (r *Result) VarObjs(v *lang.Var) []*Obj {
 	return out
 }
 
+// ForEachVarObj calls fn for every (variable, abstract object) pair of
+// the result: v may point to o under some analyzed context. Unlike
+// VarPointsTo/VarObjs it materializes no per-variable sets, so whole-
+// program clients (escape, nullness, taint) can sweep all variables
+// cheaply. Pairs arrive in no particular order and a pair may repeat
+// when a variable points to the same object under several contexts; fn
+// must be idempotent.
+func (r *Result) ForEachVarObj(fn func(v *lang.Var, o *Obj)) {
+	for v, ids := range r.solver.varIndex {
+		for _, id := range ids {
+			r.solver.ptsAt(id).ForEach(func(i int) bool {
+				fn(v, r.solver.csobjs[i].Obj)
+				return true
+			})
+		}
+	}
+}
+
 // VarTypes returns the set of types v may point to, sorted by name.
 func (r *Result) VarTypes(v *lang.Var) []*lang.Class {
 	seen := map[*lang.Class]bool{}

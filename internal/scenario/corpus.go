@@ -1,0 +1,157 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"mahjong/internal/lang"
+	"mahjong/internal/parser"
+)
+
+// NamedWant pairs a corpus family name with its property targets.
+type NamedWant struct {
+	Name string
+	Want Want
+}
+
+// CorpusWants returns the committed corpus' property families: the four
+// target property classes, with thresholds chosen to strictly exceed
+// the fixed 12-subject suite profile (field depth 2, zero polymorphic
+// containers at 3+ types, zero near-miss families beyond depth 1, zero
+// factory chains, fanout <= 10 — see TestSearchBeyondSuite), plus a
+// combined stressor.
+func CorpusWants() []NamedWant {
+	return []NamedWant{
+		{"fielddepth", Want{FieldDepth: 8}},
+		{"polycontainers", Want{PolyContainers: 3, PolyContainerTypes: 4}},
+		{"nearmiss", Want{NearMissFamilies: 2, NearMissFamilySize: 3, NearMissDepth: 3}},
+		{"factorychain", Want{FactoryChainLen: 6}},
+		{"fanout", Want{CallGraphFanout: 16}},
+		{"combined", Want{
+			FieldDepth: 6, PolyContainers: 2, NearMissFamilies: 2,
+			FactoryChainLen: 4, CallGraphFanout: 12,
+		}},
+	}
+}
+
+// CorpusEntry is one committed program's provenance record.
+type CorpusEntry struct {
+	Name     string   `json:"name"`
+	File     string   `json:"file"`
+	Seed     int64    `json:"seed"`
+	Scale    int      `json:"scale"`
+	Want     Want     `json:"want"`
+	Spec     Spec     `json:"spec"`
+	Stmts    int      `json:"stmts"`
+	Estimate Estimate `json:"estimate"`
+	SHA256   string   `json:"sha256"`
+}
+
+// Manifest records how the corpus was produced, so `synthgen -search`
+// can regenerate it byte-for-byte.
+type Manifest struct {
+	Generator string        `json:"generator"`
+	Seed      int64         `json:"seed"`
+	Scale     int           `json:"scale"`
+	Entries   []CorpusEntry `json:"entries"`
+}
+
+// Generated is one searched corpus program plus its manifest entry.
+type Generated struct {
+	Entry CorpusEntry
+	Prog  *lang.Program
+	IR    string
+}
+
+// GenerateCorpus searches two programs per corpus family, fully
+// determined by (seed, scale) — no wall clock, no map iteration order
+// reaches the output — so regeneration is byte-for-byte reproducible.
+func GenerateCorpus(seed int64, scale int) ([]Generated, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	var out []Generated
+	for i, nw := range CorpusWants() {
+		for v := 0; v < 2; v++ {
+			s := seed + int64(i*10+v)
+			f, err := Search(nw.Want, Options{Seed: s, Scale: scale})
+			if err != nil {
+				return nil, fmt.Errorf("corpus %s-%d: %w", nw.Name, v, err)
+			}
+			ir := parser.Print(f.Prog)
+			sum := sha256.Sum256([]byte(ir))
+			name := fmt.Sprintf("%s-%d", nw.Name, v)
+			out = append(out, Generated{
+				Entry: CorpusEntry{
+					Name:     name,
+					File:     name + ".ir",
+					Seed:     s,
+					Scale:    scale,
+					Want:     nw.Want,
+					Spec:     f.Spec,
+					Stmts:    f.Est.Stmts,
+					Estimate: f.Est,
+					SHA256:   hex.EncodeToString(sum[:]),
+				},
+				Prog: f.Prog,
+				IR:   ir,
+			})
+		}
+	}
+	return out, nil
+}
+
+// WriteCorpus writes the .ir files and manifest.json into dir.
+func WriteCorpus(dir string, seed int64, scale int, gens []Generated) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	man := Manifest{Generator: "synthgen -search", Seed: seed, Scale: scale}
+	for _, g := range gens {
+		if err := os.WriteFile(filepath.Join(dir, g.Entry.File), []byte(g.IR), 0o644); err != nil {
+			return err
+		}
+		man.Entries = append(man.Entries, g.Entry)
+	}
+	sort.Slice(man.Entries, func(i, j int) bool { return man.Entries[i].Name < man.Entries[j].Name })
+	buf, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "manifest.json"), append(buf, '\n'), 0o644)
+}
+
+// LoadCorpus reads a corpus directory, verifying each program against
+// its manifest checksum and re-parsing it.
+func LoadCorpus(dir string) ([]Generated, Manifest, error) {
+	var man Manifest
+	buf, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, man, err
+	}
+	if err := json.Unmarshal(buf, &man); err != nil {
+		return nil, man, fmt.Errorf("corpus manifest: %w", err)
+	}
+	var out []Generated
+	for _, e := range man.Entries {
+		ir, err := os.ReadFile(filepath.Join(dir, e.File))
+		if err != nil {
+			return nil, man, err
+		}
+		sum := sha256.Sum256(ir)
+		if got := hex.EncodeToString(sum[:]); got != e.SHA256 {
+			return nil, man, fmt.Errorf("corpus %s: checksum mismatch (manifest %s, file %s) — regenerate with synthgen -search", e.Name, e.SHA256, got)
+		}
+		prog, err := parser.Parse(e.File, string(ir))
+		if err != nil {
+			return nil, man, fmt.Errorf("corpus %s: %w", e.Name, err)
+		}
+		out = append(out, Generated{Entry: e, Prog: prog, IR: string(ir)})
+	}
+	return out, man, nil
+}

@@ -1,0 +1,86 @@
+package scenario
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestCorpusManifestConsistent: the committed manifest's recorded
+// estimates meet their wants, the spec cost matches the recorded
+// statement count, and re-estimating the committed program reproduces
+// the manifest numbers (checksums are already verified by LoadCorpus).
+func TestCorpusManifestConsistent(t *testing.T) {
+	gens, man, err := LoadCorpus(filepath.Join("..", "..", "testdata", "corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Seed != 1 || man.Scale != 1 {
+		t.Fatalf("committed corpus provenance seed=%d scale=%d, want 1/1", man.Seed, man.Scale)
+	}
+	for _, g := range gens {
+		e := g.Entry
+		if !e.Want.Met(e.Estimate) {
+			t.Errorf("%s: recorded estimate %+v does not meet want %+v", e.Name, e.Estimate, e.Want)
+		}
+		if e.Spec.Cost() != e.Stmts {
+			t.Errorf("%s: spec cost %d != recorded stmts %d", e.Name, e.Spec.Cost(), e.Stmts)
+		}
+		if got := g.Prog.Stats().Stmts; got != e.Stmts {
+			t.Errorf("%s: program has %d stmts, manifest says %d", e.Name, got, e.Stmts)
+		}
+		if re := e.Want.Thresholds().Estimate(g.Prog); re != e.Estimate {
+			t.Errorf("%s: re-estimate %+v != manifest estimate %+v", e.Name, re, e.Estimate)
+		}
+	}
+}
+
+// TestGenerateCorpusDeterministic: the library layer under `synthgen
+// -search` is itself byte-for-byte deterministic in (seed, scale).
+func TestGenerateCorpusDeterministic(t *testing.T) {
+	a, err := GenerateCorpus(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateCorpus(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].IR != b[i].IR || a[i].Entry.SHA256 != b[i].Entry.SHA256 {
+			t.Fatalf("entry %s not reproducible", a[i].Entry.Name)
+		}
+	}
+}
+
+// TestGenerateCorpusScaleTier: the 10x tier regenerates with the same
+// families but an order of magnitude more motif mass per program.
+func TestGenerateCorpusScaleTier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale tier generation skipped in -short")
+	}
+	base, err := GenerateCorpus(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := GenerateCorpus(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big) != len(base) {
+		t.Fatalf("scale tier has %d entries, base %d", len(big), len(base))
+	}
+	var baseStmts, bigStmts int
+	for i := range base {
+		baseStmts += base[i].Entry.Stmts
+		bigStmts += big[i].Entry.Stmts
+		if !big[i].Entry.Want.Met(big[i].Entry.Estimate) {
+			t.Errorf("scale entry %s does not meet its want", big[i].Entry.Name)
+		}
+	}
+	if bigStmts < 5*baseStmts {
+		t.Fatalf("scale tier total %d stmts, base %d — not a 10x tier", bigStmts, baseStmts)
+	}
+}

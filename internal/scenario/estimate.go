@@ -1,0 +1,477 @@
+package scenario
+
+import (
+	"sort"
+
+	"mahjong/internal/lang"
+)
+
+// Thresholds parameterize the estimator's counting metrics: how many
+// distinct element types make a container "polymorphic", and how deep
+// same-type sites must stay equivalent before diverging to count as a
+// near miss.
+type Thresholds struct {
+	PolyContainerTypes int
+	NearMissDepth      int
+}
+
+// DefaultThresholds matches the Want defaults.
+var DefaultThresholds = Thresholds{
+	PolyContainerTypes: DefaultPolyContainerTypes,
+	NearMissDepth:      DefaultNearMissDepth,
+}
+
+// Estimate is the static property profile of a program, computed
+// syntactically (no points-to solve) from a per-method alloc-site graph:
+// an allocation binds its site to the LHS variable, copies and casts
+// propagate bindings, and a store adds a field-labeled edge between
+// bound sites. The graph is a cheap stand-in for the solver's field
+// points-to relation — exact on the materializer's motifs, a sound-ish
+// sketch elsewhere — which is all a search fitness function needs.
+type Estimate struct {
+	Stmts      int
+	AllocSites int
+	// FieldDepth is the longest field path (in edges) through the
+	// alloc-site graph; cycles contribute their SCC size once.
+	FieldDepth int
+	// PolyContainers counts (method, base variable, field) store groups
+	// with at least PolyContainerTypes distinct concrete non-Object
+	// right-hand static types.
+	PolyContainers int
+	// NearMissFamilies counts classes whose same-type allocation sites
+	// split at partition-refinement round >= NearMissDepth: families
+	// the Mahjong NFA/DFA equivalence check must walk at least that
+	// deep to tell apart. NearMissMaxDepth is the deepest such split.
+	NearMissFamilies int
+	NearMissMaxDepth int
+	// FactoryChainLen is the longest call chain of covariant factory
+	// methods (a factory returns a freshly allocated proper subtype of
+	// its non-Object declared return type), counted in methods.
+	FactoryChainLen int
+	// CallGraphFanout is the maximum CHA dispatch-target count over the
+	// virtual call sites.
+	CallGraphFanout int
+}
+
+// EstimateProgram scores p against the thresholds implied by w.
+func EstimateProgram(p *lang.Program, w Want) Estimate {
+	return w.Thresholds().Estimate(p)
+}
+
+type siteEdge struct {
+	field *lang.Field
+	to    int
+}
+
+// Estimate computes the static property profile of p.
+func (t Thresholds) Estimate(p *lang.Program) Estimate {
+	if t.PolyContainerTypes <= 0 {
+		t.PolyContainerTypes = DefaultPolyContainerTypes
+	}
+	if t.NearMissDepth <= 0 {
+		t.NearMissDepth = DefaultNearMissDepth
+	}
+	st := p.Stats()
+	e := Estimate{Stmts: st.Stmts, AllocSites: st.AllocSites}
+
+	idx := make(map[*lang.AllocSite]int, len(p.Sites))
+	for i, s := range p.Sites {
+		idx[s] = i
+	}
+	adj := make([][]siteEdge, len(p.Sites))
+
+	type group struct {
+		m     *lang.Method
+		base  *lang.Var
+		field *lang.Field
+	}
+	groups := map[group]map[*lang.Class]bool{}
+
+	obj := p.Object()
+	for _, m := range p.Methods {
+		if m.IsAbstract {
+			continue
+		}
+		cur := map[*lang.Var][]int{}
+		for _, raw := range m.Stmts {
+			switch s := raw.(type) {
+			case *lang.Alloc:
+				cur[s.LHS] = append(cur[s.LHS], idx[s.Site])
+			case *lang.Copy:
+				cur[s.LHS] = append(cur[s.LHS], cur[s.RHS]...)
+			case *lang.Cast:
+				cur[s.LHS] = append(cur[s.LHS], cur[s.RHS]...)
+			case *lang.Store:
+				for _, b := range cur[s.Base] {
+					for _, r := range cur[s.RHS] {
+						adj[b] = append(adj[b], siteEdge{s.Field, r})
+					}
+				}
+				if rt := s.RHS.Type; rt != obj && !rt.IsInterface {
+					g := group{m, s.Base, s.Field}
+					set := groups[g]
+					if set == nil {
+						set = map[*lang.Class]bool{}
+						groups[g] = set
+					}
+					set[rt] = true
+				}
+			}
+		}
+	}
+
+	for _, set := range groups {
+		if len(set) >= t.PolyContainerTypes {
+			e.PolyContainers++
+		}
+	}
+
+	e.FieldDepth = longestSitePath(adj)
+	e.NearMissFamilies, e.NearMissMaxDepth = nearMissFamilies(p, adj, t.NearMissDepth)
+	e.FactoryChainLen = factoryChainLen(p, obj)
+	e.CallGraphFanout = maxFanout(p)
+	return e
+}
+
+// longestSitePath returns the longest path (in edges) through the site
+// graph's SCC condensation, where a cyclic SCC of k sites counts as k
+// nodes on the path.
+func longestSitePath(adj [][]siteEdge) int {
+	n := len(adj)
+	if n == 0 {
+		return 0
+	}
+	comp, ncomp := sccs(adj)
+	weight := make([]int, ncomp)
+	for i := 0; i < n; i++ {
+		weight[comp[i]]++
+	}
+	// Condensation edges.
+	cadj := make([]map[int]bool, ncomp)
+	for i := 0; i < n; i++ {
+		for _, ed := range adj[i] {
+			a, b := comp[i], comp[ed.to]
+			if a == b {
+				continue
+			}
+			if cadj[a] == nil {
+				cadj[a] = map[int]bool{}
+			}
+			cadj[a][b] = true
+		}
+	}
+	memo := make([]int, ncomp)
+	for i := range memo {
+		memo[i] = -1
+	}
+	var visit func(c int) int
+	visit = func(c int) int {
+		if memo[c] >= 0 {
+			return memo[c]
+		}
+		memo[c] = weight[c] // cycle safety: condensation is acyclic anyway
+		best := 0
+		for d := range cadj[c] {
+			if v := visit(d); v > best {
+				best = v
+			}
+		}
+		memo[c] = weight[c] + best
+		return memo[c]
+	}
+	max := 0
+	for c := 0; c < ncomp; c++ {
+		if v := visit(c); v > max {
+			max = v
+		}
+	}
+	return max - 1 // nodes -> edges
+}
+
+// sccs computes strongly connected components (iterative Tarjan),
+// returning the component index per node and the component count.
+func sccs(adj [][]siteEdge) ([]int, int) {
+	n := len(adj)
+	comp := make([]int, n)
+	low := make([]int, n)
+	num := make([]int, n)
+	onstack := make([]bool, n)
+	for i := range num {
+		num[i] = -1
+		comp[i] = -1
+	}
+	var stack, callStack []int
+	next := make([]int, n) // per-node edge cursor for the iterative DFS
+	counter, ncomp := 0, 0
+	for root := 0; root < n; root++ {
+		if num[root] >= 0 {
+			continue
+		}
+		callStack = append(callStack[:0], root)
+		num[root], low[root] = counter, counter
+		counter++
+		stack = append(stack, root)
+		onstack[root] = true
+		next[root] = 0
+		for len(callStack) > 0 {
+			v := callStack[len(callStack)-1]
+			if next[v] < len(adj[v]) {
+				w := adj[v][next[v]].to
+				next[v]++
+				if num[w] < 0 {
+					num[w], low[w] = counter, counter
+					counter++
+					stack = append(stack, w)
+					onstack[w] = true
+					next[w] = 0
+					callStack = append(callStack, w)
+				} else if onstack[w] && num[w] < low[v] {
+					low[v] = num[w]
+				}
+				continue
+			}
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := callStack[len(callStack)-1]
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == num[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onstack[w] = false
+					comp[w] = ncomp
+					if w == v {
+						break
+					}
+				}
+				ncomp++
+			}
+		}
+	}
+	return comp, ncomp
+}
+
+// nearMissFamilies runs partition refinement over the allocation sites —
+// the syntactic mirror of the paper's automata-equivalence check. The
+// initial partition is by type; round r splits blocks whose members
+// disagree on (field, round-(r-1) block of target). A class whose
+// same-type block first splits at round r hosts sites whose heap
+// automata agree on every field path shorter than r: a near miss of
+// divergence depth r. It returns the number of classes with a split at
+// depth >= minDepth and the maximum split depth.
+func nearMissFamilies(p *lang.Program, adj [][]siteEdge, minDepth int) (int, int) {
+	n := len(p.Sites)
+	if n == 0 {
+		return 0, 0
+	}
+	block := make([]int, n)
+	byType := map[*lang.Class]int{}
+	nblocks := 0
+	for i, s := range p.Sites {
+		b, ok := byType[s.Type]
+		if !ok {
+			b = nblocks
+			nblocks++
+			byType[s.Type] = b
+		}
+		block[i] = b
+	}
+	splitDepth := map[*lang.Class]int{}
+	for round := 1; round <= n+1; round++ {
+		type edgeKey struct {
+			field int
+			to    int
+		}
+		keys := make([]string, n)
+		for i := 0; i < n; i++ {
+			eks := make([]edgeKey, 0, len(adj[i]))
+			for _, ed := range adj[i] {
+				eks = append(eks, edgeKey{ed.field.ID, block[ed.to]})
+			}
+			sort.Slice(eks, func(a, b int) bool {
+				if eks[a].field != eks[b].field {
+					return eks[a].field < eks[b].field
+				}
+				return eks[a].to < eks[b].to
+			})
+			buf := make([]byte, 0, 8+8*len(eks))
+			buf = appendInt(buf, block[i])
+			last := edgeKey{-1, -1}
+			for _, ek := range eks {
+				if ek == last {
+					continue
+				}
+				last = ek
+				buf = append(buf, '|')
+				buf = appendInt(buf, ek.field)
+				buf = append(buf, ',')
+				buf = appendInt(buf, ek.to)
+			}
+			keys[i] = string(buf)
+		}
+		newID := map[string]int{}
+		newBlock := make([]int, n)
+		split := map[int]map[int]bool{} // old block -> new ids
+		nb := 0
+		for i := 0; i < n; i++ {
+			id, ok := newID[keys[i]]
+			if !ok {
+				id = nb
+				nb++
+				newID[keys[i]] = id
+			}
+			newBlock[i] = id
+			set := split[block[i]]
+			if set == nil {
+				set = map[int]bool{}
+				split[block[i]] = set
+			}
+			set[id] = true
+		}
+		changed := false
+		for i := 0; i < n; i++ {
+			if len(split[block[i]]) > 1 {
+				// Blocks are type-homogeneous (the initial partition is
+				// by type and refinement only splits), so the class of
+				// any member names the family.
+				c := p.Sites[i].Type
+				if round > splitDepth[c] {
+					splitDepth[c] = round
+				}
+				changed = true
+			}
+		}
+		copy(block, newBlock)
+		if !changed {
+			break
+		}
+	}
+	fams, maxDepth := 0, 0
+	for _, d := range splitDepth {
+		if d >= minDepth {
+			fams++
+		}
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	return fams, maxDepth
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// factoryChainLen finds the longest static-call chain of covariant
+// factories, in methods.
+func factoryChainLen(p *lang.Program, obj *lang.Class) int {
+	factory := map[*lang.Method]bool{}
+	for _, m := range p.Methods {
+		if m.IsAbstract || m.Ret == nil || m.Ret == obj {
+			continue
+		}
+		returned := map[*lang.Var]bool{}
+		for _, raw := range m.Stmts {
+			if r, ok := raw.(*lang.Return); ok && r.Value != nil {
+				returned[r.Value] = true
+			}
+		}
+		for _, raw := range m.Stmts {
+			a, ok := raw.(*lang.Alloc)
+			if !ok {
+				continue
+			}
+			st := a.Site.Type
+			if returned[a.LHS] && st != m.Ret && st.SubtypeOf(m.Ret) {
+				factory[m] = true
+				break
+			}
+		}
+	}
+	if len(factory) == 0 {
+		return 0
+	}
+	// Longest path over the factory->factory call edges; recursion is
+	// collapsed by memoizing with an on-path guard.
+	succ := map[*lang.Method][]*lang.Method{}
+	for m := range factory {
+		seen := map[*lang.Method]bool{}
+		for _, raw := range m.Stmts {
+			inv, ok := raw.(*lang.Invoke)
+			if !ok || inv.Callee == nil || !factory[inv.Callee] || seen[inv.Callee] {
+				continue
+			}
+			seen[inv.Callee] = true
+			succ[m] = append(succ[m], inv.Callee)
+		}
+	}
+	memo := map[*lang.Method]int{}
+	onPath := map[*lang.Method]bool{}
+	var visit func(m *lang.Method) int
+	visit = func(m *lang.Method) int {
+		if v, ok := memo[m]; ok {
+			return v
+		}
+		if onPath[m] {
+			return 0 // cycle: cut it, the chain metric wants simple paths
+		}
+		onPath[m] = true
+		best := 0
+		for _, c := range succ[m] {
+			if v := visit(c); v > best {
+				best = v
+			}
+		}
+		onPath[m] = false
+		memo[m] = 1 + best
+		return memo[m]
+	}
+	max := 0
+	for m := range factory {
+		if v := visit(m); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// maxFanout returns the maximum CHA dispatch-target count over virtual
+// call sites.
+func maxFanout(p *lang.Program) int {
+	max := 0
+	for _, m := range p.Methods {
+		if m.IsAbstract {
+			continue
+		}
+		for _, raw := range m.Stmts {
+			inv, ok := raw.(*lang.Invoke)
+			if !ok || inv.Kind != lang.VirtualCall || inv.Base == nil || inv.Callee == nil {
+				continue
+			}
+			sig := lang.Sig{Name: inv.Callee.Name, Arity: len(inv.Args)}
+			targets := map[*lang.Method]bool{}
+			for _, c := range p.ConcreteSubtypes(inv.Base.Type) {
+				if d := c.Dispatch(sig); d != nil {
+					targets[d] = true
+				}
+			}
+			if len(targets) > max {
+				max = len(targets)
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,246 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mahjong/internal/lang"
+)
+
+// Options configure a search.
+type Options struct {
+	Seed int64
+	// MaxStmts is the statement budget for materialized candidates
+	// (default DefaultMaxStmts * Scale).
+	MaxStmts int
+	// Candidates per round (default 6) and sampling rounds (default 3).
+	Candidates int
+	Rounds     int
+	// Scale multiplies the motif-count lower bounds — the 10-100x tier
+	// uses the same search at Scale 10+ (default 1).
+	Scale int
+}
+
+// DefaultMaxStmts is the default per-candidate statement budget.
+const DefaultMaxStmts = 400
+
+func (o Options) norm() Options {
+	if o.Scale < 1 {
+		o.Scale = 1
+	}
+	if o.MaxStmts <= 0 {
+		o.MaxStmts = DefaultMaxStmts * o.Scale
+	}
+	if o.Candidates <= 0 {
+		o.Candidates = 6
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 3
+	}
+	return o
+}
+
+// The search space is a box of integer intervals, one per Spec
+// dimension. Propagation narrows the box against the Want (lower
+// bounds) and the statement budget (upper bounds, via the exact Cost
+// model) before anything is materialized — the generate-and-prune
+// "possible lines" discipline: points outside the box can't satisfy
+// the constraints, so they are never built.
+type dim int
+
+const (
+	dimFieldDepth dim = iota
+	dimDeepPaths
+	dimPolyContainers
+	dimContainerTypes
+	dimNearMissFamilies
+	dimFamilySize
+	dimNearMissDepth
+	dimFactoryChains
+	dimFactoryChainLen
+	dimFanoutSites
+	dimFanout
+	dimFillers
+	numDims
+)
+
+var dimNames = [numDims]string{
+	"FieldDepth", "DeepPaths", "PolyContainers", "ContainerTypes",
+	"NearMissFamilies", "FamilySize", "NearMissDepth", "FactoryChains",
+	"FactoryChainLen", "FanoutSites", "Fanout", "Fillers",
+}
+
+type domain struct{ lo, hi int }
+
+func (d domain) empty() bool { return d.lo > d.hi }
+
+type box [numDims]domain
+
+func specAt(pt [numDims]int) Spec {
+	return Spec{
+		FieldDepth:       pt[dimFieldDepth],
+		DeepPaths:        pt[dimDeepPaths],
+		PolyContainers:   pt[dimPolyContainers],
+		ContainerTypes:   pt[dimContainerTypes],
+		NearMissFamilies: pt[dimNearMissFamilies],
+		FamilySize:       pt[dimFamilySize],
+		NearMissDepth:    pt[dimNearMissDepth],
+		FactoryChains:    pt[dimFactoryChains],
+		FactoryChainLen:  pt[dimFactoryChainLen],
+		FanoutSites:      pt[dimFanoutSites],
+		Fanout:           pt[dimFanout],
+		Fillers:          pt[dimFillers],
+	}
+}
+
+func (b box) lows() [numDims]int {
+	var pt [numDims]int
+	for d := 0; d < int(numDims); d++ {
+		pt[d] = b[d].lo
+	}
+	return pt
+}
+
+// propagate computes the admissible box for the want under the budget.
+// Lower bounds come from the want (scaled by Scale for motif counts);
+// upper bounds shrink each dimension to the largest value whose cost —
+// with every other dimension at its lower bound — fits the budget.
+// Narrowing iterates to a fixpoint (upper bounds only shrink, so it
+// terminates) and reports an unsatisfiable dimension by name.
+func propagate(w Want, o Options) (box, error) {
+	var b box
+	scale := o.Scale
+	lo := func(d dim, v int) {
+		if v > b[d].lo {
+			b[d].lo = v
+		}
+	}
+	if w.FieldDepth > 0 {
+		lo(dimFieldDepth, w.FieldDepth)
+		lo(dimDeepPaths, scale)
+	}
+	if w.PolyContainers > 0 {
+		lo(dimPolyContainers, w.PolyContainers*scale)
+		lo(dimContainerTypes, w.polyTypes())
+	}
+	if w.NearMissFamilies > 0 {
+		lo(dimNearMissFamilies, w.NearMissFamilies*scale)
+		lo(dimFamilySize, w.famSize())
+		lo(dimNearMissDepth, w.missDepth())
+	}
+	if w.FactoryChainLen > 0 {
+		lo(dimFactoryChains, scale)
+		lo(dimFactoryChainLen, w.FactoryChainLen)
+	}
+	if w.CallGraphFanout > 0 {
+		lo(dimFanoutSites, scale)
+		lo(dimFanout, w.CallGraphFanout)
+	}
+	// Always mix in merge-positive filler families so differential runs
+	// exercise the merge in both directions.
+	lo(dimFillers, 2*scale)
+
+	lows := b.lows()
+	if base := specAt(lows).Cost(); base > o.MaxStmts {
+		return b, fmt.Errorf("scenario: want needs >= %d statements, budget is %d", base, o.MaxStmts)
+	}
+	for d := 0; d < int(numDims); d++ {
+		b[d].hi = o.MaxStmts // loose cap; cost narrowing tightens below
+	}
+	for changed := true; changed; {
+		changed = false
+		for d := 0; d < int(numDims); d++ {
+			// Largest v in [lo, hi] whose point cost fits: Cost is
+			// monotone in every dimension, so binary search.
+			lo, hi := b[d].lo, b[d].hi
+			for lo < hi {
+				mid := (lo + hi + 1) / 2
+				pt := lows
+				pt[d] = mid
+				if specAt(pt).Cost() <= o.MaxStmts {
+					lo = mid
+				} else {
+					hi = mid - 1
+				}
+			}
+			if hi < b[d].hi {
+				b[d].hi = hi
+				changed = true
+			}
+			if b[d].empty() {
+				return b, fmt.Errorf("scenario: dimension %s is unsatisfiable: needs >= %d, budget admits <= %d",
+					dimNames[d], b[d].lo, b[d].hi)
+			}
+		}
+	}
+	return b, nil
+}
+
+// sample draws one spec from the box: start at the lower-bound corner
+// (always admissible after propagate) and take random upward steps that
+// keep the cost within budget.
+func sample(rng *rand.Rand, b box, budget int) Spec {
+	pt := b.lows()
+	steps := 4 + rng.Intn(20)
+	for i := 0; i < steps; i++ {
+		d := dim(rng.Intn(int(numDims)))
+		if pt[d] >= b[d].hi {
+			continue
+		}
+		pt[d]++
+		if specAt(pt).Cost() > budget {
+			pt[d]--
+		}
+	}
+	return specAt(pt)
+}
+
+// Found is a successful search result.
+type Found struct {
+	Prog *lang.Program
+	Spec Spec
+	Est  Estimate
+	// Attempts counts materialized candidates.
+	Attempts int
+}
+
+// Search finds a program meeting the want within the options' budget:
+// propagate the box, then sample/materialize/estimate until a candidate
+// passes the estimator. The materializer is constructive (its motifs
+// imply the properties), so the estimator acts as an end-to-end check
+// that the built program really exhibits what the spec promises; a
+// candidate failing it is discarded. Among passing candidates the
+// smallest (fewest statements) wins. Deterministic in Options.Seed.
+func Search(w Want, o Options) (*Found, error) {
+	o = o.norm()
+	b, err := propagate(w, o)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	th := w.Thresholds()
+	var best *Found
+	attempts := 0
+	for round := 0; round < o.Rounds && best == nil; round++ {
+		for c := 0; c < o.Candidates; c++ {
+			sp := sample(rng, b, o.MaxStmts)
+			attempts++
+			prog, err := sp.Materialize()
+			if err != nil {
+				continue // prune: inadmissible point
+			}
+			est := th.Estimate(prog)
+			if !w.Met(est) {
+				continue // prune: estimator disagrees with the spec
+			}
+			if best == nil || est.Stmts < best.Est.Stmts {
+				best = &Found{Prog: prog, Spec: sp, Est: est}
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("scenario: no candidate met %+v after %d attempts", w, attempts)
+	}
+	best.Attempts = attempts
+	return best, nil
+}

@@ -1,0 +1,183 @@
+package scenario
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mahjong/internal/parser"
+	"mahjong/internal/synth"
+)
+
+// TestMaterializeCostExact pins the searcher's budget model against the
+// materializer: Cost() must equal the emitted statement count exactly,
+// for random specs across the whole admissible shape space. Constraint
+// propagation prunes on Cost, so any drift would make pruning wrong.
+func TestMaterializeCostExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 150; i++ {
+		s := Spec{
+			FieldDepth:       rng.Intn(10),
+			DeepPaths:        rng.Intn(3),
+			PolyContainers:   rng.Intn(4),
+			ContainerTypes:   rng.Intn(7),
+			NearMissFamilies: rng.Intn(4),
+			FamilySize:       rng.Intn(5),
+			NearMissDepth:    rng.Intn(5),
+			FactoryChains:    rng.Intn(3),
+			FactoryChainLen:  rng.Intn(7),
+			FanoutSites:      rng.Intn(3),
+			Fanout:           rng.Intn(18),
+			Fillers:          rng.Intn(6),
+		}
+		p, err := s.Materialize()
+		if err != nil {
+			t.Fatalf("spec %+v: %v", s, err)
+		}
+		if got, want := p.Stats().Stmts, s.Cost(); got != want {
+			t.Fatalf("spec %+v: materialized %d stmts, Cost says %d", s, got, want)
+		}
+	}
+}
+
+// TestEstimatorMeetsSpec checks the constructive property the searcher
+// relies on: a materialized spec's estimate dominates its dimensions.
+func TestEstimatorMeetsSpec(t *testing.T) {
+	s := Spec{
+		FieldDepth: 8, DeepPaths: 1, PolyContainers: 2, ContainerTypes: 4,
+		NearMissFamilies: 2, FamilySize: 3, NearMissDepth: 3,
+		FactoryChains: 1, FactoryChainLen: 6, FanoutSites: 1, Fanout: 16, Fillers: 3,
+	}
+	p, err := s.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Thresholds{PolyContainerTypes: 4, NearMissDepth: 3}.Estimate(p)
+	if e.FieldDepth < s.FieldDepth || e.PolyContainers < s.PolyContainers ||
+		e.NearMissFamilies < s.NearMissFamilies || e.NearMissMaxDepth < s.NearMissDepth ||
+		e.FactoryChainLen < s.FactoryChainLen || e.CallGraphFanout < s.Fanout {
+		t.Fatalf("estimate %+v does not dominate spec %+v", e, s)
+	}
+}
+
+// TestSearchBeyondSuite is the acceptance check for the four target
+// property classes: for each, the corpus target strictly exceeds the
+// maximum the fixed 12-subject suite exhibits (per the estimator with
+// the same thresholds), and the searcher produces a program meeting it.
+func TestSearchBeyondSuite(t *testing.T) {
+	for _, nw := range CorpusWants() {
+		if nw.Name == "combined" {
+			continue
+		}
+		nw := nw
+		t.Run(nw.Name, func(t *testing.T) {
+			th := nw.Want.Thresholds()
+			suiteMax := Estimate{}
+			for _, prof := range synth.Profiles() {
+				p, err := synth.Generate(prof)
+				if err != nil {
+					t.Fatal(err)
+				}
+				e := th.Estimate(p)
+				if e.FieldDepth > suiteMax.FieldDepth {
+					suiteMax.FieldDepth = e.FieldDepth
+				}
+				if e.PolyContainers > suiteMax.PolyContainers {
+					suiteMax.PolyContainers = e.PolyContainers
+				}
+				if e.NearMissFamilies > suiteMax.NearMissFamilies {
+					suiteMax.NearMissFamilies = e.NearMissFamilies
+				}
+				if e.FactoryChainLen > suiteMax.FactoryChainLen {
+					suiteMax.FactoryChainLen = e.FactoryChainLen
+				}
+				if e.CallGraphFanout > suiteMax.CallGraphFanout {
+					suiteMax.CallGraphFanout = e.CallGraphFanout
+				}
+			}
+			if nw.Want.Met(suiteMax) {
+				t.Fatalf("suite already exhibits %+v (suite max %+v); corpus target is not adversarial", nw.Want, suiteMax)
+			}
+			f, err := Search(nw.Want, Options{Seed: 99})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !nw.Want.Met(f.Est) {
+				t.Fatalf("searched program does not meet %+v: estimate %+v", nw.Want, f.Est)
+			}
+		})
+	}
+}
+
+// TestSearchDeterministic: same seed, same program text.
+func TestSearchDeterministic(t *testing.T) {
+	w := Want{FieldDepth: 6, PolyContainers: 2}
+	a, err := Search(w, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(w, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parser.Print(a.Prog) != parser.Print(b.Prog) {
+		t.Fatal("same seed produced different programs")
+	}
+}
+
+// TestPropagateUnsatisfiable: an impossible want under a tiny budget
+// must fail fast during propagation, naming the offending dimension —
+// not after materializing candidates.
+func TestPropagateUnsatisfiable(t *testing.T) {
+	_, err := Search(Want{FieldDepth: 50}, Options{Seed: 1, MaxStmts: 60})
+	if err == nil {
+		t.Fatal("expected unsatisfiable error")
+	}
+	if !strings.Contains(err.Error(), "statements") && !strings.Contains(err.Error(), "FieldDepth") {
+		t.Fatalf("error does not identify the constraint: %v", err)
+	}
+}
+
+// TestPropagateNarrowsBox: upper bounds reflect the budget.
+func TestPropagateNarrowsBox(t *testing.T) {
+	b, err := propagate(Want{FieldDepth: 6}, Options{}.norm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[dimFieldDepth].lo != 6 {
+		t.Fatalf("FieldDepth.lo = %d, want 6", b[dimFieldDepth].lo)
+	}
+	if b[dimFieldDepth].hi >= DefaultMaxStmts/3 {
+		t.Fatalf("FieldDepth.hi = %d not narrowed by the cost model", b[dimFieldDepth].hi)
+	}
+	for d := 0; d < int(numDims); d++ {
+		if b[d].empty() {
+			t.Fatalf("dimension %s empty after propagation", dimNames[d])
+		}
+		pt := b.lows()
+		pt[d] = b[d].hi
+		if c := specAt(pt).Cost(); c > DefaultMaxStmts {
+			t.Fatalf("dimension %s hi=%d busts the budget: cost %d", dimNames[d], b[d].hi, c)
+		}
+	}
+}
+
+// TestSearchScaleTier: the 10x tier produces proportionally larger
+// programs that still meet their wants.
+func TestSearchScaleTier(t *testing.T) {
+	w := Want{PolyContainers: 2, NearMissFamilies: 1}
+	base, err := Search(w, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Search(w, Options{Seed: 3, Scale: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Est.Stmts < 5*base.Est.Stmts {
+		t.Fatalf("scale 10 program (%d stmts) not meaningfully larger than scale 1 (%d)", big.Est.Stmts, base.Est.Stmts)
+	}
+	if big.Spec.PolyContainers < 20 || big.Spec.NearMissFamilies < 10 {
+		t.Fatalf("scale 10 spec did not scale motif counts: %+v", big.Spec)
+	}
+}

@@ -1,0 +1,161 @@
+package scenario
+
+import (
+	"strings"
+
+	"mahjong/internal/lang"
+	"mahjong/internal/parser"
+)
+
+// ShrinkOptions bound the shrinker's work.
+type ShrinkOptions struct {
+	// MaxChecks caps how many candidate programs are parsed and tested
+	// (default 4000).
+	MaxChecks int
+}
+
+// Shrink minimizes p while interesting(p) keeps holding, delta-debugging
+// over the printed textual IR: statement lines first (ddmin with
+// geometric chunk sizes), then variable declarations, then whole method
+// and class blocks, repeated to a fixpoint. Candidates that no longer
+// parse or validate are simply rejected — the printer/parser round trip
+// is the well-formedness filter — so the result is always a valid
+// program, and p itself when nothing smaller stays interesting.
+//
+// The caller must ensure interesting(p) is true; Shrink never returns a
+// program for which interesting reported false.
+func Shrink(p *lang.Program, interesting func(*lang.Program) bool, o ShrinkOptions) *lang.Program {
+	if o.MaxChecks <= 0 {
+		o.MaxChecks = 4000
+	}
+	checks := 0
+	best := p
+	try := func(lines []string) bool {
+		if checks >= o.MaxChecks {
+			return false
+		}
+		checks++
+		p2, err := parser.Parse("shrink", strings.Join(lines, "\n"))
+		if err != nil || !interesting(p2) {
+			return false
+		}
+		best = p2
+		return true
+	}
+
+	cur := strings.Split(parser.Print(p), "\n")
+	without := func(lines []string, drop map[int]bool) []string {
+		out := make([]string, 0, len(lines)-len(drop))
+		for i, l := range lines {
+			if !drop[i] {
+				out = append(out, l)
+			}
+		}
+		return out
+	}
+
+	isStmt := func(l string) bool {
+		return strings.HasPrefix(l, "    ") && !strings.HasPrefix(l, "    var ")
+	}
+	isVar := func(l string) bool { return strings.HasPrefix(l, "    var ") }
+
+	// ddminLines removes as many lines matching sel as possible, in
+	// chunks halving from half the candidate set down to singletons.
+	ddminLines := func(sel func(string) bool) bool {
+		progress := false
+		for {
+			var idxs []int
+			for i, l := range cur {
+				if sel(l) {
+					idxs = append(idxs, i)
+				}
+			}
+			if len(idxs) == 0 {
+				return progress
+			}
+			removed := false
+			for chunk := (len(idxs) + 1) / 2; chunk >= 1 && !removed; {
+				for start := 0; start < len(idxs); start += chunk {
+					drop := map[int]bool{}
+					for _, i := range idxs[start:min(start+chunk, len(idxs))] {
+						drop[i] = true
+					}
+					cand := without(cur, drop)
+					if try(cand) {
+						cur = cand
+						removed = true
+						progress = true
+						break
+					}
+				}
+				if !removed {
+					chunk /= 2
+				}
+			}
+			if !removed || checks >= o.MaxChecks {
+				return progress
+			}
+		}
+	}
+
+	// blocks finds [start,end] line ranges opened by a line satisfying
+	// open (at the given indent) and closed by the matching brace.
+	blocks := func(open func(string) bool, closer string) [][2]int {
+		var out [][2]int
+		for i := 0; i < len(cur); i++ {
+			if !open(cur[i]) || !strings.HasSuffix(cur[i], "{") {
+				continue
+			}
+			for j := i + 1; j < len(cur); j++ {
+				if cur[j] == closer {
+					out = append(out, [2]int{i, j})
+					break
+				}
+			}
+		}
+		return out
+	}
+	dropBlocks := func(open func(string) bool, closer string) bool {
+		progress := false
+		for again := true; again; {
+			again = false
+			for _, blk := range blocks(open, closer) {
+				drop := map[int]bool{}
+				for i := blk[0]; i <= blk[1]; i++ {
+					drop[i] = true
+				}
+				if try(without(cur, drop)) {
+					cur = without(cur, drop)
+					progress, again = true, true
+					break
+				}
+			}
+			if checks >= o.MaxChecks {
+				break
+			}
+		}
+		return progress
+	}
+
+	for pass := 0; pass < 8; pass++ {
+		progress := ddminLines(isStmt)
+		if ddminLines(isVar) {
+			progress = true
+		}
+		if dropBlocks(func(l string) bool {
+			return strings.HasPrefix(l, "  ") && !strings.HasPrefix(l, "    ") &&
+				strings.Contains(l, "method ")
+		}, "  }") {
+			progress = true
+		}
+		if dropBlocks(func(l string) bool {
+			return strings.HasPrefix(l, "class ") || strings.HasPrefix(l, "interface ")
+		}, "}") {
+			progress = true
+		}
+		if !progress || checks >= o.MaxChecks {
+			break
+		}
+	}
+	return best
+}

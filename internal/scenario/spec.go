@@ -1,0 +1,336 @@
+package scenario
+
+import (
+	"fmt"
+
+	"mahjong/internal/lang"
+)
+
+// Spec is a fully resolved program shape: one point in the search space
+// the constraint propagation narrows. Each dimension counts instances
+// (or sizes) of a property-carrying motif; Materialize turns a Spec
+// into a valid lang.Program whose estimator metrics are, by
+// construction, at least the corresponding dimensions.
+type Spec struct {
+	// FieldDepth is the edge length of each deep field chain (0 = no
+	// deep-path motif); DeepPaths is how many chains to emit.
+	FieldDepth int
+	DeepPaths  int
+	// PolyContainers containers, each storing ContainerTypes distinct
+	// leaf types through one Object-typed field.
+	PolyContainers int
+	ContainerTypes int
+	// NearMissFamilies families of FamilySize same-type allocation
+	// sites whose automata diverge exactly at depth NearMissDepth.
+	NearMissFamilies int
+	FamilySize       int
+	NearMissDepth    int
+	// FactoryChains chains of FactoryChainLen covariant factories.
+	FactoryChains   int
+	FactoryChainLen int
+	// FanoutSites virtual call sites with Fanout dispatch targets each.
+	FanoutSites int
+	Fanout      int
+	// Fillers adds type-consistent builder helpers: families the merge
+	// SHOULD collapse, so differential runs see both merge and split.
+	Fillers int
+}
+
+// normalized clamps dependent dimensions to their structural minimums
+// (a container needs >=2 element types, a family >=2 members and depth
+// >=1, a dispatch site >=2 targets, a chain >=1 level, and a deep-path
+// motif >=1 chain).
+func (s Spec) normalized() Spec {
+	if s.PolyContainers > 0 && s.ContainerTypes < 2 {
+		s.ContainerTypes = 2
+	}
+	if s.NearMissFamilies > 0 {
+		if s.FamilySize < 2 {
+			s.FamilySize = 2
+		}
+		if s.NearMissDepth < 1 {
+			s.NearMissDepth = 1
+		}
+	}
+	if s.FactoryChains > 0 && s.FactoryChainLen < 1 {
+		s.FactoryChainLen = 1
+	}
+	if s.FanoutSites > 0 && s.Fanout < 2 {
+		s.Fanout = 2
+	}
+	if s.FieldDepth > 0 && s.DeepPaths < 1 {
+		s.DeepPaths = 1
+	}
+	return s
+}
+
+// Cost is the exact number of IR statements Materialize emits for the
+// spec — the searcher's budget model. TestMaterializeCostExact pins the
+// two against each other.
+func (s Spec) Cost() int {
+	s = s.normalized()
+	cost := 1 + 2 + 6 // M.pass, the two sinks, the taint helper
+	helpers := 1      // the taint helper
+	if s.PolyContainers > 0 {
+		cost += 2 * s.ContainerTypes // leaf tag() overrides
+	}
+	if s.FieldDepth > 0 {
+		helpers += s.DeepPaths
+		cost += s.DeepPaths * (3*s.FieldDepth + 2)
+	}
+	helpers += s.PolyContainers
+	cost += s.PolyContainers * (2*s.ContainerTypes + 5)
+	if s.NearMissFamilies > 0 {
+		d := s.NearMissDepth
+		helpers += s.NearMissFamilies
+		cost += s.NearMissFamilies * (s.FamilySize*(2*d+2) + d + 1)
+	}
+	helpers += s.FactoryChains
+	cost += s.FactoryChains * (4*s.FactoryChainLen + 1)
+	helpers += s.FanoutSites
+	cost += s.FanoutSites * (3*s.Fanout + 2)
+	helpers += s.Fillers
+	cost += s.Fillers * 5
+	cost += helpers + 1 // main: one call per helper plus its return
+	return cost
+}
+
+// Materialize builds the program for the spec. All class and method
+// names live under the "scn." namespace; the program always includes
+// the taint motif (one hot and one cold sink) so the taint client has
+// signal on every searched program.
+func (s Spec) Materialize() (*lang.Program, error) {
+	s = s.normalized()
+	p := lang.NewProgram()
+	obj := p.Object()
+
+	str := p.NewClass("scn.Str", nil)
+	mCls := p.NewClass("scn.M", nil)
+	pass := mCls.NewMethod("pass", true, []*lang.Class{obj}, obj)
+	pass.AddReturn(pass.Params[0])
+
+	var helpers []*lang.Method
+	helper := func(name string) *lang.Method {
+		h := mCls.NewMethod(name, true, nil, nil)
+		helpers = append(helpers, h)
+		return h
+	}
+
+	// Deep field chains: scn.D{t}_0 --next--> ... --tip--> scn.Str.
+	if s.FieldDepth > 0 {
+		for t := 0; t < s.DeepPaths; t++ {
+			k := s.FieldDepth
+			chain := make([]*lang.Class, k)
+			for i := 0; i < k; i++ {
+				chain[i] = p.NewClass(fmt.Sprintf("scn.D%d_%d", t, i), nil)
+			}
+			for i := 0; i < k-1; i++ {
+				chain[i].NewField("next", chain[i+1])
+			}
+			chain[k-1].NewField("tip", str)
+			h := helper(fmt.Sprintf("deep%d", t))
+			vars := make([]*lang.Var, k)
+			for i := 0; i < k; i++ {
+				vars[i] = h.NewVar(fmt.Sprintf("d%d", i), chain[i])
+				h.AddAlloc(vars[i], chain[i])
+			}
+			for i := 0; i < k-1; i++ {
+				h.AddStore(vars[i], chain[i].Field("next"), vars[i+1])
+			}
+			sv := h.NewVar("s", str)
+			h.AddAlloc(sv, str)
+			h.AddStore(vars[k-1], chain[k-1].Field("tip"), sv)
+			cur := vars[0]
+			for i := 1; i < k; i++ {
+				l := h.NewVar(fmt.Sprintf("l%d", i), chain[i])
+				h.AddLoad(l, cur, chain[i-1].Field("next"))
+				cur = l
+			}
+			ts := h.NewVar("ts", str)
+			h.AddLoad(ts, cur, chain[k-1].Field("tip"))
+			h.AddReturn(nil)
+		}
+	}
+
+	// Polymorphic containers: one shared scn.Box class whose sites each
+	// store ContainerTypes distinct scn.Leaf* types through "item".
+	if s.PolyContainers > 0 {
+		node := p.NewClass("scn.Node", nil)
+		node.NewAbstractMethod("tag", nil, str)
+		leaves := make([]*lang.Class, s.ContainerTypes)
+		for i := range leaves {
+			leaves[i] = p.NewClass(fmt.Sprintf("scn.Leaf%d", i), node)
+			tag := leaves[i].NewMethod("tag", false, nil, str)
+			sv := tag.NewVar("s", str)
+			tag.AddAlloc(sv, str)
+			tag.AddReturn(sv)
+		}
+		box := p.NewClass("scn.Box", nil)
+		box.NewField("item", obj)
+		for j := 0; j < s.PolyContainers; j++ {
+			h := helper(fmt.Sprintf("box%d", j))
+			b := h.NewVar("b", box)
+			h.AddAlloc(b, box)
+			for i := 0; i < s.ContainerTypes; i++ {
+				leaf := leaves[(j+i)%len(leaves)]
+				lv := h.NewVar(fmt.Sprintf("e%d", i), leaf)
+				h.AddAlloc(lv, leaf)
+				h.AddStore(b, box.Field("item"), lv)
+			}
+			raw := h.NewVar("raw", obj)
+			h.AddLoad(raw, b, box.Field("item"))
+			n := h.NewVar("n", node)
+			h.AddCast(n, node, raw)
+			tv := h.NewVar("t", str)
+			h.AddVirtualCall(tv, n, "tag")
+			h.AddReturn(nil)
+		}
+	}
+
+	// Near-miss families: FamilySize sites of one class scn.N{f}, each
+	// wired through the SAME chain classes to a tail of a per-member
+	// type at depth NearMissDepth — automata equivalent to depth-1 reads
+	// and divergent at the tail, the expensive case for the merge.
+	if s.NearMissFamilies > 0 {
+		d := s.NearMissDepth
+		for f := 0; f < s.NearMissFamilies; f++ {
+			fam := p.NewClass(fmt.Sprintf("scn.N%d", f), nil)
+			chain := make([]*lang.Class, d)
+			chain[0] = fam
+			for j := 1; j < d; j++ {
+				chain[j] = p.NewClass(fmt.Sprintf("scn.C%d_%d", f, j), nil)
+				chain[j-1].NewField("step", chain[j])
+			}
+			chain[d-1].NewField("last", obj)
+			tails := make([]*lang.Class, s.FamilySize)
+			for i := range tails {
+				tails[i] = p.NewClass(fmt.Sprintf("scn.T%d_%d", f, i), nil)
+			}
+			h := helper(fmt.Sprintf("nm%d", f))
+			mix := h.NewVar("mix", fam)
+			for i := 0; i < s.FamilySize; i++ {
+				a := h.NewVar(fmt.Sprintf("a%d", i), fam)
+				h.AddAlloc(a, fam)
+				prev := a
+				for j := 1; j < d; j++ {
+					c := h.NewVar(fmt.Sprintf("c%d_%d", i, j), chain[j])
+					h.AddAlloc(c, chain[j])
+					h.AddStore(prev, chain[j-1].Field("step"), c)
+					prev = c
+				}
+				tv := h.NewVar(fmt.Sprintf("t%d", i), obj)
+				h.AddAlloc(tv, tails[i])
+				h.AddStore(prev, chain[d-1].Field("last"), tv)
+				h.AddCopy(mix, a)
+			}
+			cur := mix
+			for j := 1; j < d; j++ {
+				l := h.NewVar(fmt.Sprintf("w%d", j), chain[j])
+				h.AddLoad(l, cur, chain[j-1].Field("step"))
+				cur = l
+			}
+			ll := h.NewVar("ll", obj)
+			h.AddLoad(ll, cur, chain[d-1].Field("last"))
+			h.AddReturn(nil)
+		}
+	}
+
+	// Covariant factory chains: fac{c}_i allocates a fresh proper
+	// subtype of its declared return and forwards to fac{c}_{i+1}.
+	for c := 0; c < s.FactoryChains; c++ {
+		k := s.FactoryChainLen
+		base := p.NewClass(fmt.Sprintf("scn.P%d", c), nil)
+		facs := make([]*lang.Method, k)
+		leafs := make([]*lang.Class, k)
+		for i := 0; i < k; i++ {
+			leafs[i] = p.NewClass(fmt.Sprintf("scn.PL%d_%d", c, i), base)
+			facs[i] = mCls.NewMethod(fmt.Sprintf("fac%d_%d", c, i), true, nil, base)
+		}
+		for i := 0; i < k; i++ {
+			x := facs[i].NewVar("x", base)
+			facs[i].AddAlloc(x, leafs[i])
+			facs[i].AddReturn(x)
+			if i < k-1 {
+				y := facs[i].NewVar("y", base)
+				facs[i].AddStaticCall(y, facs[i+1])
+				facs[i].AddReturn(y)
+			}
+		}
+		h := helper(fmt.Sprintf("fcRoot%d", c))
+		r := h.NewVar("r", base)
+		h.AddStaticCall(r, facs[0])
+		z := h.NewVar("z", leafs[k-1])
+		h.AddCast(z, leafs[k-1], r)
+		h.AddReturn(nil)
+	}
+
+	// Megamorphic dispatch: Fanout overrides of scn.V{s}.hit behind one
+	// virtual call site.
+	for v := 0; v < s.FanoutSites; v++ {
+		base := p.NewClass(fmt.Sprintf("scn.V%d", v), nil)
+		base.NewAbstractMethod("hit", nil, str)
+		h := helper(fmt.Sprintf("fan%d", v))
+		hv := h.NewVar("h", base)
+		for i := 0; i < s.Fanout; i++ {
+			sub := p.NewClass(fmt.Sprintf("scn.V%d_%d", v, i), base)
+			hit := sub.NewMethod("hit", false, nil, str)
+			sv := hit.NewVar("s", str)
+			hit.AddAlloc(sv, str)
+			hit.AddReturn(sv)
+			h.AddAlloc(hv, sub)
+		}
+		tv := h.NewVar("t", str)
+		h.AddVirtualCall(tv, hv, "hit")
+		h.AddReturn(nil)
+	}
+
+	// Taint motif (always on): one tainted flow through pass into
+	// sinkHot, one clean flow into sinkCold.
+	taintCls := p.NewClass("scn.TaintData", nil)
+	sinkHot := mCls.NewMethod("sinkHot", true, []*lang.Class{obj}, nil)
+	sinkHot.AddReturn(nil)
+	sinkCold := mCls.NewMethod("sinkCold", true, []*lang.Class{obj}, nil)
+	sinkCold.AddReturn(nil)
+	{
+		h := helper("taint")
+		t := h.NewVar("t", taintCls)
+		h.AddAlloc(t, taintCls)
+		o := h.NewVar("o", obj)
+		h.AddStaticCall(o, pass, t)
+		h.AddStaticCall(nil, sinkHot, o)
+		cv := h.NewVar("c", str)
+		h.AddAlloc(cv, str)
+		h.AddStaticCall(nil, sinkCold, cv)
+		h.AddReturn(nil)
+	}
+
+	// Fillers: identical builder helpers whose scn.Buf/scn.Str sites are
+	// type-consistent across instances — objects the merge SHOULD fold.
+	if s.Fillers > 0 {
+		buf := p.NewClass("scn.Buf", nil)
+		buf.NewField("val", str)
+		for i := 0; i < s.Fillers; i++ {
+			h := helper(fmt.Sprintf("fill%d", i))
+			b := h.NewVar("b", buf)
+			h.AddAlloc(b, buf)
+			sv := h.NewVar("s", str)
+			h.AddAlloc(sv, str)
+			h.AddStore(b, buf.Field("val"), sv)
+			lv := h.NewVar("l", str)
+			h.AddLoad(lv, b, buf.Field("val"))
+			h.AddReturn(nil)
+		}
+	}
+
+	mainCls := p.NewClass("scn.Main", nil)
+	main := mainCls.NewMethod("main", true, nil, nil)
+	for _, h := range helpers {
+		main.AddStaticCall(nil, h)
+	}
+	main.AddReturn(nil)
+	p.SetEntry(main)
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: materialized spec invalid: %w", err)
+	}
+	return p, nil
+}

@@ -17,6 +17,25 @@ import (
 // pipeline (soundness and abstraction-ordering properties), not
 // realism — use Generate/Profiles for realistic workloads.
 func RandomProgram(seed int64) *lang.Program {
+	return randomProgram(seed, -1)
+}
+
+// RandomProgramSized is RandomProgram with an explicit statement budget:
+// the entry method's body contains at least nStmts statements from the
+// random statement mix (in addition to the per-variable seeding
+// allocations and the trailing return). Every loop iteration emits at
+// least one statement — when the drawn statement kind cannot apply (no
+// compatible sink/source variable, a class with no storable fields) the
+// generator falls back to an allocation instead of silently skipping,
+// which is what used to make programs come out smaller than requested.
+func RandomProgramSized(seed int64, nStmts int) *lang.Program {
+	if nStmts < 0 {
+		panic("synth: RandomProgramSized: negative statement budget")
+	}
+	return randomProgram(seed, nStmts)
+}
+
+func randomProgram(seed int64, nStmts int) *lang.Program {
 	rng := rand.New(rand.NewSource(seed))
 	p := lang.NewProgram()
 	obj := p.Object()
@@ -104,46 +123,61 @@ func RandomProgram(seed int64) *lang.Program {
 		}
 		return nil
 	}
+	// allocInto seeds v with an allocation of a compatible concrete type.
+	// Always succeeds: the generated hierarchy is interface-free, so a
+	// concrete choice exists for every variable type.
+	allocInto := func(v *lang.Var) {
+		t := v.Type
+		if t == obj || t.IsInterface {
+			t = classes[rng.Intn(len(classes))]
+		}
+		c := concreteSubtype(rng, classes, t)
+		if c == nil {
+			c = classes[rng.Intn(len(classes))]
+		}
+		m.AddAlloc(v, c)
+	}
 
 	// Seed every variable with at least one allocation of a compatible
 	// type so later statements have flow to observe.
 	for _, v := range vars {
-		t := v.Type
-		if t == obj {
-			t = classes[rng.Intn(len(classes))]
-		}
-		m.AddAlloc(v, concreteSubtype(rng, classes, t))
+		allocInto(v)
 	}
 
-	nStmts := 10 + rng.Intn(25)
-	for i := 0; i < nStmts; i++ {
+	if nStmts < 0 {
+		nStmts = 10 + rng.Intn(25)
+	}
+	// emitOne attempts one randomly drawn statement kind and reports
+	// whether it emitted anything. Kinds can fizzle: no sink/source of a
+	// compatible type within the retry budget, or a base class with no
+	// storable fields.
+	emitOne := func(i int) bool {
 		switch rng.Intn(9) {
 		case 0: // alloc
-			v := anyVar()
-			t := v.Type
-			if t == obj {
-				t = classes[rng.Intn(len(classes))]
-			}
-			m.AddAlloc(v, concreteSubtype(rng, classes, t))
+			allocInto(anyVar())
+			return true
 		case 1: // copy (widening only)
 			src := anyVar()
 			if dst := sink(src.Type); dst != nil {
 				m.AddCopy(dst, src)
+				return true
 			}
 		case 2: // store
 			base := anyVar()
-			if fs := storableFields(base.Type); len(fs) > 0 {
+			if fs := storableFields(p, base.Type); len(fs) > 0 {
 				f := fs[rng.Intn(len(fs))]
 				if src := source(f.Type); src != nil {
 					m.AddStore(base, f, src)
+					return true
 				}
 			}
 		case 3: // load
 			base := anyVar()
-			if fs := storableFields(base.Type); len(fs) > 0 {
+			if fs := storableFields(p, base.Type); len(fs) > 0 {
 				f := fs[rng.Intn(len(fs))]
 				if dst := sink(f.Type); dst != nil {
 					m.AddLoad(dst, base, f)
+					return true
 				}
 			}
 		case 4: // explicit (checked) downcast
@@ -151,16 +185,19 @@ func RandomProgram(seed int64) *lang.Program {
 			t := classes[rng.Intn(len(classes))]
 			if dst := sink(t); dst != nil {
 				m.AddCast(dst, t, src)
+				return true
 			}
 		case 5: // virtual call
 			recv := anyVar()
 			if recv.Type.LookupMethod(lang.Sig{Name: "m", Arity: 0}) != nil {
 				m.AddVirtualCall(sink(obj), recv, "m")
+				return true
 			}
 		case 6: // static identity call
 			src := anyVar()
 			if dst := sink(obj); dst != nil {
 				m.AddStaticCall(dst, id, src)
+				return true
 			}
 		case 7: // call a thrower, and occasionally throw directly
 			m.AddStaticCall(nil, boom)
@@ -169,10 +206,21 @@ func RandomProgram(seed int64) *lang.Program {
 				m.AddAlloc(ev, errCls)
 				m.AddThrow(ev)
 			}
+			return true
 		case 8: // catch
 			if dst := sink(errCls); dst != nil {
 				m.AddCatch(dst, errCls)
+				return true
 			}
+		}
+		return false
+	}
+	for i := 0; i < nStmts; i++ {
+		if !emitOne(i) {
+			// Fallback so every iteration contributes: an allocation is
+			// always well-typed, keeping the emitted statement count at
+			// least the requested budget.
+			allocInto(anyVar())
 		}
 	}
 	m.AddReturn(nil)
@@ -183,22 +231,39 @@ func RandomProgram(seed int64) *lang.Program {
 	return p
 }
 
-// concreteSubtype picks a random class that is a subtype of t (possibly
-// t itself).
+// concreteSubtype picks a random allocatable (non-interface) class among
+// the candidates conforming to t, falling back to t itself when no
+// candidate matches. It returns nil only when there is no valid choice
+// at all: t is an interface without a concrete implementor among the
+// candidates. (It used to return t unconditionally in that case, which
+// would panic in AddAlloc; callers must handle nil.)
 func concreteSubtype(rng *rand.Rand, classes []*lang.Class, t *lang.Class) *lang.Class {
 	var subs []*lang.Class
 	for _, c := range classes {
-		if c.SubtypeOf(t) {
+		if !c.IsInterface && c.SubtypeOf(t) {
 			subs = append(subs, c)
 		}
 	}
 	if len(subs) == 0 {
+		if t.IsInterface {
+			return nil
+		}
 		return t
 	}
 	return subs[rng.Intn(len(subs))]
 }
 
-// storableFields lists the instance fields reachable on a static type.
-func storableFields(t *lang.Class) []*lang.Field {
-	return t.InstanceFields()
+// storableFields lists the instance fields on static type t that a
+// generator can usefully populate: fields whose declared type has at
+// least one allocatable implementation in the program. A field typed by
+// an implementor-free interface can never receive a non-null value in a
+// closed world, and offering it just made store/load draws fizzle.
+func storableFields(p *lang.Program, t *lang.Class) []*lang.Field {
+	var out []*lang.Field
+	for _, f := range t.InstanceFields() {
+		if len(p.ConcreteSubtypes(f.Type)) > 0 {
+			out = append(out, f)
+		}
+	}
+	return out
 }

@@ -1,0 +1,100 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"mahjong/internal/lang"
+)
+
+// TestRandomProgramSizedStatementFloor pins the statement-count contract:
+// the entry body holds at least the requested number of mix statements,
+// plus the >=4 seeding allocations and the trailing return. Before the
+// fizzle-fallback fix, inapplicable draws (no compatible sink/source, no
+// storable field) silently shrank programs below the request.
+func TestRandomProgramSizedStatementFloor(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		for _, n := range []int{0, 1, 13, 40} {
+			p := RandomProgramSized(seed, n)
+			got := len(p.Entry.Stmts)
+			// 4 is the minimum variable count, so the floor below holds
+			// for every seed; the exact seeding count varies with it.
+			if want := n + 4 + 1; got < want {
+				t.Fatalf("seed %d n %d: entry has %d stmts, want >= %d", seed, n, got, want)
+			}
+		}
+	}
+}
+
+func TestRandomProgramSizedDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		a := RandomProgramSized(seed, 25)
+		b := RandomProgramSized(seed, 25)
+		if as, bs := a.Stats(), b.Stats(); as != bs {
+			t.Fatalf("seed %d: stats differ across runs: %+v vs %+v", seed, as, bs)
+		}
+	}
+}
+
+// TestRandomProgramStillValidates keeps the legacy entry point working:
+// RandomProgram must keep producing valid programs (Validate panics
+// inside the generator otherwise) with a plausible statement count.
+func TestRandomProgramStillValidates(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		p := RandomProgram(seed)
+		if got := len(p.Entry.Stmts); got < 10+4+1 {
+			t.Fatalf("seed %d: entry has %d stmts, below the 10-statement draw floor", seed, got)
+		}
+	}
+}
+
+// TestConcreteSubtypeInterfaceEdge pins the fixed edge case: an interface
+// with no concrete implementor among the candidates must yield nil, not
+// the interface itself (allocating an interface panics downstream).
+func TestConcreteSubtypeInterfaceEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := lang.NewProgram()
+	iface := p.NewInterface("I")
+	loner := p.NewClass("Loner", nil)
+
+	if got := concreteSubtype(rng, []*lang.Class{loner}, iface); got != nil {
+		t.Fatalf("interface with no implementor: got %v, want nil", got)
+	}
+	// A concrete leaf with no subtypes in the candidate list still
+	// resolves to itself.
+	if got := concreteSubtype(rng, nil, loner); got != loner {
+		t.Fatalf("concrete type with no candidates: got %v, want the type itself", got)
+	}
+	impl := p.NewClass("Impl", nil, iface)
+	if got := concreteSubtype(rng, []*lang.Class{loner, impl}, iface); got != impl {
+		t.Fatalf("interface with implementor: got %v, want Impl", got)
+	}
+}
+
+// TestStorableFieldsSkipsUnfillable pins the second fixed edge case:
+// fields typed by an implementor-free interface are excluded (they can
+// never be populated in a closed world), while fields of concrete or
+// implemented types survive, inherited ones included.
+func TestStorableFieldsSkipsUnfillable(t *testing.T) {
+	p := lang.NewProgram()
+	dead := p.NewInterface("Dead")
+	live := p.NewInterface("Live")
+	p.NewClass("LiveImpl", nil, live)
+	base := p.NewClass("Base", nil)
+	base.NewField("keep", p.Object())
+	c := p.NewClass("C", base)
+	c.NewField("drop", dead)
+	c.NewField("also", live)
+
+	fs := storableFields(p, c)
+	names := map[string]bool{}
+	for _, f := range fs {
+		names[f.Name] = true
+	}
+	if !names["keep"] || !names["also"] || names["drop"] {
+		t.Fatalf("storableFields = %v, want keep+also without drop", names)
+	}
+	if got := storableFields(p, p.Object()); len(got) != 0 {
+		t.Fatalf("Object has no instance fields, got %v", got)
+	}
+}

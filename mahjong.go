@@ -381,6 +381,11 @@ func evaluateClients(r *pta.Result, tc TraceCtx) (m clients.Metrics, err error) 
 	sp.Add("poly_call_sites", int64(m.PolyCallSites))
 	sp.Add("may_fail_casts", int64(m.MayFailCasts))
 	sp.Add("reachable_methods", int64(m.Reachable))
+	sp.Add("escaping_sites", int64(m.EscapingSites))
+	sp.Add("stack_alloc_sites", int64(m.StackAllocSites))
+	sp.Add("may_null_loads", int64(m.MayNullLoads))
+	sp.Add("tainted_sinks", int64(m.TaintedSinks))
+	sp.Add("taint_sinks", int64(m.TaintSinks))
 	return m, nil
 }
 
